@@ -1,0 +1,28 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+experiment once (these are simulations, not microbenchmarks, so
+``rounds=1``), prints the same rows/series the paper reports, and asserts
+the qualitative shape (who wins, by roughly what factor, where the
+crossover falls).
+
+Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

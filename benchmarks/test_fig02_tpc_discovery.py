@@ -1,0 +1,32 @@
+"""Figure 2: SM0's execution time when co-run with each other SM.
+
+Paper result (Volta V100): a factor-of-2 slowdown appears only when the
+co-runner is SM1 — the SM sharing SM0's TPC injection channel — and no
+degradation for any other SM.
+"""
+
+import pytest
+
+from repro.analysis import format_series
+from repro.config import VOLTA_V100
+from repro.reveng import sweep_tpc_pairing
+
+
+@pytest.mark.benchmark(group="fig02")
+def test_fig02_tpc_discovery(once):
+    config = VOLTA_V100
+    sweep = once(sweep_tpc_pairing, config, ops=8)
+    normalized = sweep.normalized()
+    xs = sorted(normalized)
+    ys = [normalized[sm] for sm in xs]
+    print("\nFigure 2 — SM0 slowdown vs co-running SM id")
+    print(format_series(xs[:12], ys[:12], "SM id", "normalized time"))
+    print(f"... ({len(xs)} SMs swept)")
+    partners = sweep.partner_of_sm0()
+    print(f"TPC sibling(s) of SM0: {partners}")
+
+    # Shape assertions: only SM1 doubles SM0's time.
+    assert partners == [1]
+    assert normalized[1] == pytest.approx(2.0, rel=0.15)
+    others = [normalized[sm] for sm in xs if sm != 1]
+    assert max(others) < 1.3

@@ -1,0 +1,70 @@
+"""Figures 3 and 4: GPC membership discovery and the full topology map.
+
+Figure 3: with TPC0 as the anchor and random extra TPCs co-activated,
+the anchor's average execution time rises measurably only when the varied
+TPC shares its GPC.  Figure 4: repeating from successive anchors recovers
+the complete logical-to-physical TPC->GPC map, including the imperfect
+interleaving caused by the two 6-TPC GPCs.
+
+The statistics run on the noise-free medium configuration (the full V100
+sweep is the same code with ``VOLTA_V100`` and more trials — the paper
+used 200 trials per point); the recovered-map check then validates the
+mechanism against the configured ground truth, and the V100's expected
+map is printed from the config's interleaving model.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.config import VOLTA_V100, medium_config
+from repro.reveng import (
+    recover_gpc_groups,
+    sweep_gpc_membership,
+    verify_topology,
+)
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03_gpc_membership_sweep(once):
+    config = medium_config(timing_noise=0)
+    sweep = once(
+        sweep_gpc_membership, config,
+        anchor_tpc=0, trials=8, extra_tpcs=4, ops=3, seed=1,
+    )
+    scores = sweep.membership_scores()
+    print("\nFigure 3 — anchor TPC0 average-time leverage per varied TPC")
+    print(format_table(
+        ["TPC id", "avg time", "membership score"],
+        [
+            (tpc, sweep.averages()[tpc], scores[tpc])
+            for tpc in sorted(scores)
+        ],
+    ))
+    detected = sweep.co_resident_tpcs()
+    truth = sorted(
+        t for t in config.gpc_members()[config.tpc_to_gpc_map()[0]] if t
+    )
+    print(f"detected co-GPC TPCs: {detected} (truth: {truth})")
+    assert detected == truth
+
+
+@pytest.mark.benchmark(group="fig04")
+def test_fig04_topology_recovery(once):
+    config = medium_config(timing_noise=0)
+    groups = once(recover_gpc_groups, config, trials=8, ops=3, seed=5)
+    print("\nFigure 4 — recovered TPC->GPC grouping")
+    for index, group in enumerate(sorted(groups, key=min)):
+        print(f"  GPC {index}: TPCs {sorted(group)}")
+    assert verify_topology(config, groups)
+
+    # The full V100's map (the content of Figure 4), from the validated
+    # interleaving model: TPCs interleave across GPCs and the two 6-TPC
+    # GPCs drop out of the tail rotation.
+    members = VOLTA_V100.gpc_members()
+    print("\nVolta V100 logical map (Figure 4):")
+    for gpc, tpcs in members.items():
+        print(f"  GPC {gpc}: TPCs {tpcs}")
+    assert [len(members[g]) for g in range(6)] == [7, 7, 7, 7, 6, 6]
+    # GPC5 holds TPC 5,11,17,23,29 and then 39 — not 35 (Section 3.3).
+    assert members[5][:5] == [5, 11, 17, 23, 29]
+    assert members[5][-1] != 35

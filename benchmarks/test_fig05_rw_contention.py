@@ -1,0 +1,40 @@
+"""Figure 5: read vs write contention on the TPC and GPC channels.
+
+Paper result: on the TPC channel, write co-runners double execution time
+while reads barely matter; on the GPC channel, writes are throttled at the
+TPC stage (only ~15% loss with all 7 TPCs) while reads degrade from 4
+active TPCs and reach ~2.1x with 7.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.config import VOLTA_V100
+from repro.reveng import rw_contention_profile
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05_read_write_contention(once):
+    profile = once(rw_contention_profile, VOLTA_V100, ops=8)
+
+    print("\nFigure 5(a) — TPC channel (2 SMs co-located)")
+    print(format_table(
+        ["access", "normalized time"],
+        [("write", profile.tpc["write"]), ("read", profile.tpc["read"])],
+    ))
+    print("\nFigure 5(b) — GPC channel vs number of activated TPCs")
+    rows = [
+        (n + 1, profile.gpc["write"][n], profile.gpc["read"][n])
+        for n in range(len(profile.gpc["write"]))
+    ]
+    print(format_table(["active TPCs", "write", "read"], rows))
+
+    # TPC channel: writes 2x, reads minimal.
+    assert profile.tpc["write"] == pytest.approx(2.0, rel=0.15)
+    assert profile.tpc["read"] < 1.3
+    # GPC channel: writes stay under ~1.25x even at 7 TPCs.
+    assert profile.gpc["write"][-1] < 1.25
+    # GPC reads: minimal through 3 TPCs, degrading from 4, ~2x at 7.
+    assert profile.gpc["read"][2] < 1.2
+    assert profile.gpc["read"][3] > profile.gpc["read"][2]
+    assert profile.gpc["read"][-1] == pytest.approx(2.1, rel=0.2)

@@ -1,0 +1,55 @@
+"""Figure 6: distribution of clock() values across the 80 SMs.
+
+Paper result: SMs in one TPC read nearly identical values, TPCs within a
+GPC stay within ~15 cycles, while different GPCs differ by billions of
+cycles (up to ~4x).  Averaged over 100 runs, intra-TPC skew stays under 5
+cycles and intra-GPC skew under 15 — negligible against the ~200-250
+cycle L2 round trip, which is what makes handshake-free synchronization
+possible.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.config import VOLTA_V100
+from repro.reveng import repeated_skew_statistics, survey_clocks
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_clock_survey(once):
+    config = VOLTA_V100
+    survey = once(survey_clocks, config)
+    values = survey.values
+    print("\nFigure 6 — clock() per SM (first 16 SMs shown)")
+    print(format_table(
+        ["SM id", "clock()"],
+        [(sm, values[sm]) for sm in range(16)],
+    ))
+    tpc_skews = survey.tpc_skews()
+    gpc_skews = survey.gpc_skews()
+    spread = max(values.values()) - min(values.values())
+    print(f"max intra-TPC skew : {max(tpc_skews)} cycles")
+    print(f"max intra-GPC skew : {max(gpc_skews)} cycles")
+    print(f"cross-GPC spread   : {spread:,} cycles")
+
+    assert max(tpc_skews) <= 5 + 2 * config.clock_skew.read_jitter
+    assert max(gpc_skews) <= 15 + 2 * config.clock_skew.read_jitter
+    assert spread > 1_000_000  # GPCs differ wildly (the Fig 6 clusters)
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_hundred_run_statistics(once):
+    config = VOLTA_V100
+    stats = once(repeated_skew_statistics, config, runs=100)
+    print("\nSection 4.1 — skew averaged over 100 surveys")
+    print(format_table(
+        ["scope", "avg skew (cycles)", "paper bound"],
+        [
+            ("within TPC", stats["avg_tpc_skew"], "< 5"),
+            ("within GPC", stats["avg_gpc_skew"], "< 15"),
+        ],
+    ))
+    jitter = 2 * config.clock_skew.read_jitter
+    assert stats["avg_tpc_skew"] < 5 + jitter
+    assert stats["avg_gpc_skew"] < 15 + jitter
+    assert stats["avg_tpc_skew"] <= stats["avg_gpc_skew"]

@@ -1,0 +1,40 @@
+"""Figures 7 and 8: interconnect channel leakage through the shared mux.
+
+Figure 7 is the concept (contention when communicating '1'); Figure 8 is
+its measurement: SM0's execution time grows *linearly* with the traffic
+of a co-runner that shares its mux (SM1) and stays flat for one that does
+not (SM12) — the direct, predictable leakage the covert channel encodes
+bits into.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.config import VOLTA_V100
+from repro.reveng import mux_sharing_sweep
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_mux_sharing_leakage(once):
+    config = VOLTA_V100.replace(timing_noise=0)
+    sweep = once(
+        mux_sharing_sweep, config,
+        probe_sm=0, sharing_sm=1, non_sharing_sm=12,
+        fractions=(0.0, 0.12, 0.24, 0.36, 0.48, 0.6, 0.72, 0.84, 0.96),
+        ops=10,
+    )
+    print("\nFigure 8 — SM0 time vs co-runner's memory-access fraction")
+    rows = [
+        (f"{fraction:.2f}", sweep.series["SM1"][i], sweep.series["SM12"][i])
+        for i, fraction in enumerate(sweep.fractions)
+    ]
+    print(format_table(["fraction", "with SM1", "with SM12"], rows))
+    print(f"slope with SM1 (shares mux): {sweep.slope('SM1'):+.3f}")
+    print(f"slope with SM12 (different TPC): {sweep.slope('SM12'):+.3f}")
+
+    # Linear growth toward 2x for the mux-sharing SM; flat otherwise.
+    assert sweep.slope("SM1") == pytest.approx(1.0, abs=0.25)
+    assert abs(sweep.slope("SM12")) < 0.05
+    assert sweep.series["SM1"][-1] == pytest.approx(1.96, rel=0.1)
+    series = sweep.series["SM1"]
+    assert all(b >= a - 0.03 for a, b in zip(series, series[1:]))

@@ -1,0 +1,103 @@
+"""Figure 10: covert-channel bandwidth and error rate vs iterations.
+
+Four panels on the full Volta configuration: (a) single TPC channel,
+(b) multi-TPC using all 40 TPCs, (c) single GPC channel, (d) multi-GPC
+using all 6 GPCs.  The paper's shapes: bandwidth falls as the iteration
+count grows; error falls toward zero; multi-channel variants multiply
+bandwidth by the channel count; the TPC channel outperforms the GPC
+channel; multi-TPC peaks more than an order of magnitude above a single
+TPC channel (24 Mbps vs ~1 Mbps on Volta hardware).
+"""
+
+import pytest
+
+from repro.analysis import fig10_panel, format_table
+from repro.config import VOLTA_V100
+
+
+def show(series):
+    print(f"\nFigure 10 ({series.label}) — bandwidth / error vs iterations")
+    print(format_table(
+        ["iterations", "bit rate (kbps)", "error rate"], series.rows()
+    ))
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10a_single_tpc(once):
+    series = once(
+        fig10_panel, VOLTA_V100, "tpc",
+        iterations=(1, 2, 3, 4, 5), bits_per_channel=16,
+    )
+    show(series)
+    rates = [p.bandwidth_kbps for p in series.points]
+    errors = [p.error_rate for p in series.points]
+    assert rates[0] > rates[-1]
+    assert errors[-1] <= 0.05
+    assert 100 < rates[-1] < 2000  # hundreds of kbps to ~Mbps band
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10b_multi_tpc(once):
+    series = once(
+        fig10_panel, VOLTA_V100, "multi-tpc",
+        iterations=(1, 3, 5), bits_per_channel=8,
+    )
+    show(series)
+    errors = [p.error_rate for p in series.points]
+    rates = [p.bandwidth_kbps for p in series.points]
+    assert errors[-1] <= 0.06          # negligible at 5 iterations
+    assert errors[0] >= errors[-1]     # error falls with iterations
+    assert rates[-1] > 5_000           # multi-Mbps with 40 channels
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10c_single_gpc(once):
+    series = once(
+        fig10_panel, VOLTA_V100, "gpc",
+        iterations=(2, 4), bits_per_channel=12,
+    )
+    show(series)
+    errors = [p.error_rate for p in series.points]
+    rates = [p.bandwidth_kbps for p in series.points]
+    assert errors[-1] <= 0.1
+    assert rates[0] > rates[-1]
+    assert 50 < rates[-1] < 1500
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10d_multi_gpc(once):
+    series = once(
+        fig10_panel, VOLTA_V100, "multi-gpc",
+        iterations=(2, 4), bits_per_channel=8,
+    )
+    show(series)
+    errors = [p.error_rate for p in series.points]
+    rates = [p.bandwidth_kbps for p in series.points]
+    assert errors[-1] <= 0.15
+    assert rates[0] > rates[-1]
+    # ~6 channels: aggregate above a single GPC channel's rate.
+    assert rates[-1] > 500
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_cross_panel_ordering(once):
+    """The paper's headline ordering: multi-TPC >> multi-GPC > TPC > GPC."""
+
+    def run_all():
+        rates = {}
+        for kind, bits in (
+            ("tpc", 16), ("multi-tpc", 8), ("gpc", 12), ("multi-gpc", 8)
+        ):
+            panel = fig10_panel(
+                VOLTA_V100, kind, iterations=(4,), bits_per_channel=bits
+            )
+            rates[kind] = panel.points[0].bandwidth_kbps
+        return rates
+
+    rates = once(run_all)
+    print("\nFigure 10 — cross-panel bandwidth at 4 iterations (kbps)")
+    print(format_table(["channel", "kbps"], sorted(rates.items())))
+    assert rates["multi-tpc"] > rates["multi-gpc"]
+    assert rates["multi-tpc"] > 10 * rates["tpc"]
+    assert rates["tpc"] > rates["gpc"]
+    assert rates["multi-gpc"] > rates["gpc"]

@@ -1,0 +1,49 @@
+"""Figure 11: GPC-channel information leakage.
+
+Paper result: the probe TPC's latency grows linearly with the memory
+traffic of TPCs that share its GPC, but with a much smaller slope than
+the TPC channel (the GPC bandwidth speedup dampens the effect); TPCs of
+a different GPC leave it flat.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.config import VOLTA_V100
+from repro.reveng import gpc_sharing_sweep, mux_sharing_sweep
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_gpc_channel_leakage(once):
+    config = VOLTA_V100.replace(timing_noise=0)
+    sweep = once(
+        gpc_sharing_sweep, config,
+        fractions=(0.0, 0.24, 0.48, 0.72, 0.96),
+        ops=5,
+    )
+    print("\nFigure 11 — probe TPC time vs other TPCs' traffic fraction")
+    rows = [
+        (
+            f"{fraction:.2f}",
+            sweep.series["same-gpc"][i],
+            sweep.series["different-gpc"][i],
+        )
+        for i, fraction in enumerate(sweep.fractions)
+    ]
+    print(format_table(["fraction", "same GPC", "different GPC"], rows))
+    same_slope = sweep.slope("same-gpc")
+    diff_slope = sweep.slope("different-gpc")
+    print(f"slope same-GPC: {same_slope:+.3f}; "
+          f"different-GPC: {diff_slope:+.3f}")
+
+    # Same-GPC senders leak; different-GPC senders do not.
+    assert same_slope > 0.1
+    assert abs(diff_slope) < 0.05
+
+    # And the slope is smaller than the TPC channel's (Figure 8).
+    tpc = mux_sharing_sweep(
+        config, fractions=(0.0, 0.48, 0.96), ops=8
+    )
+    tpc_slope = tpc.slope(f"SM1")
+    print(f"TPC-channel slope for comparison: {tpc_slope:+.3f}")
+    assert same_slope < tpc_slope

@@ -1,0 +1,87 @@
+"""Tables 1 and 2.
+
+Table 1 is the simulation configuration (verified field-by-field against
+the paper's parameters).  Table 2 is the qualitative/quantitative channel
+comparison; the benchmark measures this work's four rows — the TPC and
+GPC channels, single and parallel — and checks the orderings the paper
+reports (parallel/local/direct channels; TPC above GPC; multi-channel
+variants the fastest; near-zero error except multi-GPC's small error).
+"""
+
+import pytest
+
+from repro.analysis import format_table, table2_summary
+from repro.config import VOLTA_V100
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_simulation_configuration(once):
+    config = once(lambda: VOLTA_V100)
+    rows = [
+        ("Core", f"{config.core_clock_mhz} MHz, SIMT width="
+                 f"{config.simt_width}, {config.num_tpcs} TPCs, "
+                 f"{config.sms_per_tpc} SMs per TPC"),
+        ("Caches", f"{config.l1_size_bytes // 1024}KB L1/Shmem per SM, "
+                   f"{config.num_l2_slices} L2 slices, "
+                   f"{config.l2_slice_bytes // 1024}KB per slice"),
+        ("Memory", f"{config.num_memory_controllers} MCs, HBM2, "
+                   f"tCL={config.dram.t_cl}, tRP={config.dram.t_rp}, "
+                   f"tRC={config.dram.t_rc}, tRAS={config.dram.t_ras}, "
+                   f"tRCD={config.dram.t_rcd}, tRRD={config.dram.t_rrd}"),
+        ("Interconnect", f"{config.core_clock_mhz} MHz crossbar, "
+                         f"flit_size={config.flit_bytes}, "
+                         f"num_vcs={config.num_vcs}, "
+                         f"subnets={config.num_subnets}"),
+    ]
+    print("\nTable 1 — simulation configuration")
+    print(format_table(["component", "parameters"], rows))
+
+    assert config.core_clock_mhz == 1200
+    assert config.simt_width == 32
+    assert config.num_tpcs == 40 and config.sms_per_tpc == 2
+    assert config.num_l2_slices == 48
+    assert config.l2_slice_bytes == 96 * 1024
+    assert config.l1_size_bytes == 128 * 1024
+    assert config.num_memory_controllers == 24
+    assert (config.dram.t_cl, config.dram.t_rp, config.dram.t_rc,
+            config.dram.t_ras, config.dram.t_rcd, config.dram.t_rrd) == (
+        12, 12, 40, 28, 12, 3)
+    assert config.flit_bytes == 40
+    assert config.num_vcs == 1
+    assert config.num_subnets == 2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_this_work_rows(once):
+    rows = once(table2_summary, VOLTA_V100, bits_per_channel=10)
+    print("\nTable 2 (this work's rows) — measured on the simulator")
+    print(format_table(
+        ["channel", "type", "error rate", "bandwidth (Mbps)"],
+        [
+            (row.channel,
+             f"{row.parallel}/{row.locality}/{row.directness}",
+             row.error_rate, row.bandwidth_mbps)
+            for row in rows
+        ],
+    ))
+    by_name = {row.channel: row for row in rows}
+    tpc = by_name["GPU TPC Channel"]
+    multi_tpc = by_name["GPU TPC Channel (all TPCs)"]
+    gpc = by_name["GPU GPC Channel"]
+    multi_gpc = by_name["GPU GPC Channel (all GPCs)"]
+
+    # All four are parallel/local/direct channels.
+    assert all(
+        (row.parallel, row.locality, row.directness)
+        == ("Parallel", "Local", "Direct")
+        for row in rows
+    )
+    # Bandwidth ordering: multi-TPC >> TPC > GPC; multi-GPC > GPC.
+    assert multi_tpc.bandwidth_mbps > 10 * tpc.bandwidth_mbps
+    assert tpc.bandwidth_mbps > gpc.bandwidth_mbps
+    assert multi_gpc.bandwidth_mbps > gpc.bandwidth_mbps
+    # Error: near zero for TPC/GPC/multi-TPC; small for multi-GPC (<3%-ish).
+    assert tpc.error_rate <= 0.02
+    assert gpc.error_rate <= 0.02
+    assert multi_tpc.error_rate <= 0.06
+    assert multi_gpc.error_rate <= 0.1

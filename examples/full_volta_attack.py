@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The full-scale attack on the Table-1 Volta V100 configuration.
+
+Runs all four channel variants the paper measures (Figure 10): single
+TPC, 40-way multi-TPC, single GPC, and 6-way multi-GPC — on the complete
+80-SM simulated GPU.  This is the slowest example (a few minutes of
+simulation); the scaled-down examples cover the same code paths faster.
+
+Run with::
+
+    python examples/full_volta_attack.py
+"""
+
+import random
+import time
+
+from repro import VOLTA_V100
+from repro.analysis import format_table
+from repro.channel import GpcCovertChannel, TpcCovertChannel
+
+
+def measure(label, channel, bits_per_channel, rng):
+    start = time.time()
+    channel.calibrate(training_symbols=12)
+    payload = [
+        rng.randint(0, 1)
+        for _ in range(bits_per_channel * channel.num_channels)
+    ]
+    result = channel.transmit(payload)
+    wall = time.time() - start
+    print(f"    {label}: {result.bandwidth_mbps:.2f} Mbps, "
+          f"error {result.error_rate:.4f} "
+          f"({len(payload)} bits, {wall:.0f}s host time)")
+    return [
+        label,
+        channel.num_channels,
+        f"{result.bandwidth_mbps:.2f}",
+        f"{result.error_rate:.4f}",
+    ]
+
+
+def main() -> None:
+    config = VOLTA_V100
+    print(f"Volta V100 model: {config.num_gpcs} GPCs / "
+          f"{config.num_tpcs} TPCs / {config.num_sms} SMs, "
+          f"{config.num_l2_slices} L2 slices\n")
+    rng = random.Random(1021)
+    rows = [
+        measure("TPC channel (single)", TpcCovertChannel(config), 24, rng),
+        measure(
+            "TPC channel (all 40 TPCs)",
+            TpcCovertChannel.all_channels(config),
+            10,
+            rng,
+        ),
+        measure("GPC channel (single)", GpcCovertChannel(config), 24, rng),
+        measure(
+            "GPC channel (all 6 GPCs)",
+            GpcCovertChannel.all_channels(config),
+            16,
+            rng,
+        ),
+    ]
+    print()
+    print(format_table(["channel", "parallel pipes", "Mbps", "error"], rows))
+    print("\nPaper reference (Volta hardware): TPC ~1 Mbps, multi-TPC "
+          "~24 Mbps, GPC ~0.8 Mbps, multi-GPC ~4 Mbps — the simulator "
+          "reproduces the ordering and scaling, not the absolute rates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Robust channel variants: noise, coding, clock-free sync, and MPS.
+
+Exercises the extension modules around the core attack:
+
+1. **Third-kernel noise** (Section 5): a co-scheduled kernel with a
+   growing L2 footprint, from harmless to channel-killing.
+2. **Forward error correction**: running the channel fast and dirty
+   (iterations=1) and repairing it with Hamming(7,4).
+3. **Handshake synchronization** (Section 6): a clock-free channel that
+   survives clock fuzzing.
+4. **MPS-style launches** (Section 2.2): two processes with a large
+   launch skew, aligned by a one-time wide-period synchronization.
+
+Run with::
+
+    python examples/robust_channel_variants.py
+"""
+
+import random
+
+from repro import small_config
+from repro.analysis import format_table
+from repro.channel import (
+    ChannelParams,
+    HandshakeTpcChannel,
+    TpcCovertChannel,
+    run_noise_study,
+    transmit_coded,
+)
+
+
+def main() -> None:
+    rng = random.Random(2021)
+    bits = [rng.randint(0, 1) for _ in range(40)]
+
+    # -- 1. Third-kernel interference ----------------------------------- #
+    print("[1] Third-kernel noise (Section 5)")
+    study = run_noise_study(
+        small_config(),
+        footprint_fractions=(0.0, 0.05, 2.0),
+        payload_bits=32,
+        channels=[0, 1],
+    )
+    print(format_table(
+        ["interferer", "error rate", "Mbps"],
+        [(p.label, p.error_rate, p.bandwidth_mbps) for p in study],
+    ))
+    print("    -> an L2-scale interferer makes the channel infeasible\n")
+
+    # -- 2. Error correction --------------------------------------------- #
+    print("[2] Forward error correction on a noisy operating point")
+    noisy = small_config(timing_noise=160)
+    fast = TpcCovertChannel(noisy, params=ChannelParams(iterations=1))
+    fast.calibrate(training_symbols=24)
+    uncoded = transmit_coded(fast, bits, scheme="none")
+    hamming = transmit_coded(fast, bits, scheme="hamming74")
+    repetition = transmit_coded(fast, bits, scheme="repetition")
+    print(format_table(
+        ["scheme", "payload error", "effective Mbps"],
+        [
+            ("uncoded", uncoded.decoded_error_rate,
+             uncoded.effective_bandwidth_mbps),
+            ("Hamming(7,4)", hamming.decoded_error_rate,
+             hamming.effective_bandwidth_mbps),
+            ("repetition-3", repetition.decoded_error_rate,
+             repetition.effective_bandwidth_mbps),
+        ],
+    ))
+    print()
+
+    # -- 3. Clock-free synchronization under fuzzing ---------------------- #
+    print("[3] Handshake sync vs clock fuzzing (Section 6)")
+    fuzzed = small_config(clock_fuzz=8192)
+    clocked = TpcCovertChannel(fuzzed)
+    clocked.calibrate()
+    clocked_result = clocked.transmit(bits)
+    handshake = HandshakeTpcChannel(fuzzed)
+    handshake.calibrate()
+    handshake_result = handshake.transmit(bits)
+    print(format_table(
+        ["channel", "error rate under fuzz=8192"],
+        [
+            ("clock-synchronized", clocked_result.error_rate),
+            ("handshake/preamble", handshake_result.error_rate),
+        ],
+    ))
+    print("    -> fuzzing breaks the clocked channel, not the fallback\n")
+
+    # -- 4. MPS-style launch skew ----------------------------------------- #
+    print("[4] MPS launches (Section 2.2)")
+    params = ChannelParams(initial_sync_mask=(1 << 16) - 1)
+    rows = []
+    for skew in (0, 2000, 10000):
+        channel = TpcCovertChannel(small_config(), params=params)
+        channel.mps_launch_skew = skew
+        channel.calibrate()
+        result = channel.transmit(bits)
+        rows.append((f"{skew} cycles", result.error_rate))
+    print(format_table(["launch skew", "error rate"], rows))
+    print("    -> the one-time wide-period sync absorbs process skew")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Metrics, figure-series builders, and table rendering."""
+
+from .figures import (
+    BandwidthErrorPoint,
+    Fig10Series,
+    Table2Row,
+    fig9_latency_trace,
+    fig10_panel,
+    fig14_multilevel_trace,
+    table2_summary,
+)
+from .report import REPORT_SECTIONS, generate_report
+from .tables import format_series, format_table
+
+__all__ = [
+    "BandwidthErrorPoint",
+    "Fig10Series",
+    "Table2Row",
+    "fig9_latency_trace",
+    "fig10_panel",
+    "fig14_multilevel_trace",
+    "table2_summary",
+    "format_series",
+    "format_table",
+    "REPORT_SECTIONS",
+    "generate_report",
+]

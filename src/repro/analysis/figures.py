@@ -1,0 +1,181 @@
+"""Per-figure data-series builders.
+
+One function per paper figure/table: each runs the underlying experiment
+and returns the rows/series the paper reports, ready for the benchmark
+harness to print.  Figure numbering follows the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import GpuConfig
+from ..channel.gpc_channel import GpcCovertChannel
+from ..channel.metrics import TransmissionResult
+from ..channel.protocol import ChannelParams
+from ..channel.tpc_channel import TpcCovertChannel
+
+
+@dataclass
+class BandwidthErrorPoint:
+    """One point of Figure 10: bandwidth + error at an iteration count."""
+
+    iterations: int
+    bandwidth_kbps: float
+    error_rate: float
+
+
+@dataclass
+class Fig10Series:
+    """One panel of Figure 10 (e.g. single TPC, multi-TPC, ...)."""
+
+    label: str
+    points: List[BandwidthErrorPoint] = field(default_factory=list)
+
+    def rows(self) -> List[Tuple[int, float, float]]:
+        return [
+            (p.iterations, p.bandwidth_kbps, p.error_rate)
+            for p in self.points
+        ]
+
+
+def _random_bits(count: int, seed: int) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.randint(0, 1) for _ in range(count)]
+
+
+def _measure_channel(
+    channel, payload_bits: int, seed: int, training_symbols: int = 16
+) -> TransmissionResult:
+    channel.calibrate(training_symbols=training_symbols)
+    return channel.transmit(_random_bits(payload_bits, seed))
+
+
+def fig10_panel(
+    config: GpuConfig,
+    kind: str,
+    iterations: Sequence[int] = (1, 2, 3, 4, 5),
+    bits_per_channel: int = 10,
+    seed: int = 1021,
+) -> Fig10Series:
+    """Bandwidth and error rate vs iterations for one Figure 10 panel.
+
+    ``kind`` is one of ``"tpc"``, ``"multi-tpc"``, ``"gpc"``,
+    ``"multi-gpc"``.  The payload scales with the channel count so every
+    parallel channel carries ``bits_per_channel`` symbols.
+    """
+    builders = {
+        "tpc": lambda params: TpcCovertChannel(config, params=params),
+        "multi-tpc": lambda params: TpcCovertChannel.all_channels(
+            config, params=params
+        ),
+        "gpc": lambda params: GpcCovertChannel(config, params=params),
+        "multi-gpc": lambda params: GpcCovertChannel.all_channels(
+            config, params=params
+        ),
+    }
+    if kind not in builders:
+        raise ValueError(f"unknown Figure 10 panel {kind!r}")
+    series = Fig10Series(label=kind)
+    for index, iteration_count in enumerate(iterations):
+        probe = builders[kind](None)
+        params = probe.params.with_(iterations=iteration_count)
+        channel = builders[kind](params)
+        channel.seed_salt = seed + index
+        payload = bits_per_channel * channel.num_channels
+        result = _measure_channel(channel, payload, seed + index)
+        series.points.append(
+            BandwidthErrorPoint(
+                iterations=iteration_count,
+                bandwidth_kbps=result.bandwidth_bps / 1e3,
+                error_rate=result.error_rate,
+            )
+        )
+    return series
+
+
+def fig9_latency_trace(
+    config: GpuConfig,
+    with_sync: bool,
+    num_bits: int = 30,
+    params: Optional[ChannelParams] = None,
+) -> Tuple[List[int], List[float]]:
+    """Figure 9: receiver latency for an alternating '0101..' sequence.
+
+    ``with_sync=False`` reproduces panel (a): timing-slot-only operation
+    where overrun drift accumulates and contention stops being detected;
+    ``with_sync=True`` reproduces panel (b) with periodic resync.
+    """
+    base = params or ChannelParams()
+    channel_params = base.with_(
+        sync_period=(8 if with_sync else 0),
+        # Panel (a) needs visible drift: shave the slot so the sender's
+        # write burst cannot drain within it and every '1' overruns.
+        slot_cycles=(0 if with_sync else max(256, base.slot - 700)),
+        threshold=1.0,
+    )
+    channel = TpcCovertChannel(config, params=channel_params)
+    bits = [slot % 2 for slot in range(num_bits)]
+    result = channel.transmit(bits)
+    return bits, result.measurements[0]
+
+
+def fig14_multilevel_trace(
+    config: GpuConfig,
+    repeats: int = 8,
+) -> Tuple[List[int], List[float]]:
+    """Figure 14: latency staircase for the '0102030..' level sequence."""
+    from ..channel.multilevel import MultiLevelTpcChannel
+
+    channel = MultiLevelTpcChannel(config)
+    channel.calibrate_levels(repeats=max(4, repeats // 2))
+    pattern: List[int] = []
+    for _ in range(repeats):
+        for symbol in (0, 1, 0, 2, 0, 3):
+            pattern.append(symbol)
+    result = channel.transmit(pattern)
+    return pattern, result.measurements[0]
+
+
+@dataclass
+class Table2Row:
+    """One row of Table 2 (our-work portion): measured channel summary."""
+
+    channel: str
+    parallel: str
+    locality: str
+    directness: str
+    error_rate: float
+    bandwidth_mbps: float
+
+
+def table2_summary(
+    config: GpuConfig,
+    bits_per_channel: int = 12,
+    seed: int = 2021,
+) -> List[Table2Row]:
+    """Measure all four of this work's channels for the Table 2 rows."""
+    rows: List[Table2Row] = []
+    cases = [
+        ("GPU TPC Channel", TpcCovertChannel(config)),
+        ("GPU TPC Channel (all TPCs)", TpcCovertChannel.all_channels(config)),
+        ("GPU GPC Channel", GpcCovertChannel(config)),
+        ("GPU GPC Channel (all GPCs)", GpcCovertChannel.all_channels(config)),
+    ]
+    for index, (label, channel) in enumerate(cases):
+        channel.seed_salt = seed + index
+        payload = bits_per_channel * channel.num_channels
+        result = _measure_channel(channel, payload, seed + index)
+        rows.append(
+            Table2Row(
+                channel=label,
+                parallel="Parallel",
+                locality="Local",
+                directness="Direct",
+                error_rate=result.error_rate,
+                bandwidth_mbps=result.bandwidth_mbps,
+            )
+        )
+    return rows

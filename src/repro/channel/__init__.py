@@ -1,0 +1,86 @@
+"""The interconnect covert channels (the paper's core contribution)."""
+
+from .metrics import (
+    TransmissionResult,
+    bit_error_rate,
+    channel_capacity_per_symbol,
+)
+from .protocol import (
+    ChannelParams,
+    decode_binary,
+    decode_multilevel,
+    receiver_program,
+    sender_program,
+)
+from .base import CovertChannelBase, block_to_tpc_map
+from .tpc_channel import TpcCovertChannel
+from .gpc_channel import GpcCovertChannel
+from .multilevel import DEFAULT_LEVELS, MultiLevelTpcChannel
+from .coalescing import CoalescingStudy, cell_label, run_coalescing_study
+from .side_channel import SideChannelTrace, measure_l1_miss_leakage
+from .noise import (
+    InterferedTpcChannel,
+    NoiseStudyPoint,
+    run_noise_study,
+)
+from .handshake import (
+    DEFAULT_PREAMBLE,
+    HandshakeTpcChannel,
+    fit_preamble,
+    decode_waveform,
+    waveform_timeline,
+)
+from .coding import (
+    CodedResult,
+    hamming74_decode,
+    hamming74_encode,
+    repetition_decode,
+    repetition_encode,
+    transmit_coded,
+)
+from .aes_attack import (
+    AesAttackResult,
+    INV_SBOX,
+    distinct_lines,
+    run_aes_key_recovery,
+)
+
+__all__ = [
+    "TransmissionResult",
+    "bit_error_rate",
+    "channel_capacity_per_symbol",
+    "ChannelParams",
+    "decode_binary",
+    "decode_multilevel",
+    "receiver_program",
+    "sender_program",
+    "CovertChannelBase",
+    "block_to_tpc_map",
+    "TpcCovertChannel",
+    "GpcCovertChannel",
+    "DEFAULT_LEVELS",
+    "MultiLevelTpcChannel",
+    "CoalescingStudy",
+    "cell_label",
+    "run_coalescing_study",
+    "SideChannelTrace",
+    "measure_l1_miss_leakage",
+    "InterferedTpcChannel",
+    "NoiseStudyPoint",
+    "run_noise_study",
+    "DEFAULT_PREAMBLE",
+    "HandshakeTpcChannel",
+    "fit_preamble",
+    "decode_waveform",
+    "waveform_timeline",
+    "CodedResult",
+    "hamming74_decode",
+    "hamming74_encode",
+    "repetition_decode",
+    "repetition_encode",
+    "transmit_coded",
+    "AesAttackResult",
+    "INV_SBOX",
+    "distinct_lines",
+    "run_aes_key_recovery",
+]

@@ -1,0 +1,266 @@
+"""AES key recovery through the NoC contention side channel.
+
+Section 5 notes that the interconnect leak "can potentially lead to other
+dangerous side-channel attacks", and the related work (Jiang et al.)
+exploits the correlation between a GPU AES kernel's *unique cache line
+count* and its timing.  This module stages that attack end to end on the
+simulator:
+
+* The **victim** runs AES last-round table lookups: each lane computes
+  ``index = INV_SBOX[ct ^ key]`` and reads the T-table line holding it.
+  The memory coalescer merges same-line lanes, so the number of NoC
+  transactions per warp IS the number of distinct lines — which depends
+  on the secret key byte nonlinearly through the inverse S-box.
+  (A first-round ``pt ^ key`` attack would not work: distinct counts are
+  XOR-invariant; the S-box is what makes the count key-dependent.)
+* The **spy**, co-located on the victim's TPC, measures its own probe
+  latency per ciphertext batch — the Figure 8 leak turns the victim's
+  transaction count into the spy's latency.
+* The **attacker** correlates, for every key-byte guess, the predicted
+  distinct-line counts of the known ciphertexts against the measured
+  latencies; the true key byte maximizes the correlation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import GpuConfig
+from ..gpu.coalescer import coalesce
+from ..gpu.device import GpuDevice
+from ..gpu.kernel import Kernel
+from ..gpu.warp import MemOp, WarpContext, WarpProgram, READ
+
+#: The AES inverse S-box (FIPS-197 standard constant).
+INV_SBOX = [
+    0x52, 0x09, 0x6A, 0xD5, 0x30, 0x36, 0xA5, 0x38,
+    0xBF, 0x40, 0xA3, 0x9E, 0x81, 0xF3, 0xD7, 0xFB,
+    0x7C, 0xE3, 0x39, 0x82, 0x9B, 0x2F, 0xFF, 0x87,
+    0x34, 0x8E, 0x43, 0x44, 0xC4, 0xDE, 0xE9, 0xCB,
+    0x54, 0x7B, 0x94, 0x32, 0xA6, 0xC2, 0x23, 0x3D,
+    0xEE, 0x4C, 0x95, 0x0B, 0x42, 0xFA, 0xC3, 0x4E,
+    0x08, 0x2E, 0xA1, 0x66, 0x28, 0xD9, 0x24, 0xB2,
+    0x76, 0x5B, 0xA2, 0x49, 0x6D, 0x8B, 0xD1, 0x25,
+    0x72, 0xF8, 0xF6, 0x64, 0x86, 0x68, 0x98, 0x16,
+    0xD4, 0xA4, 0x5C, 0xCC, 0x5D, 0x65, 0xB6, 0x92,
+    0x6C, 0x70, 0x48, 0x50, 0xFD, 0xED, 0xB9, 0xDA,
+    0x5E, 0x15, 0x46, 0x57, 0xA7, 0x8D, 0x9D, 0x84,
+    0x90, 0xD8, 0xAB, 0x00, 0x8C, 0xBC, 0xD3, 0x0A,
+    0xF7, 0xE4, 0x58, 0x05, 0xB8, 0xB3, 0x45, 0x06,
+    0xD0, 0x2C, 0x1E, 0x8F, 0xCA, 0x3F, 0x0F, 0x02,
+    0xC1, 0xAF, 0xBD, 0x03, 0x01, 0x13, 0x8A, 0x6B,
+    0x3A, 0x91, 0x11, 0x41, 0x4F, 0x67, 0xDC, 0xEA,
+    0x97, 0xF2, 0xCF, 0xCE, 0xF0, 0xB4, 0xE6, 0x73,
+    0x96, 0xAC, 0x74, 0x22, 0xE7, 0xAD, 0x35, 0x85,
+    0xE2, 0xF9, 0x37, 0xE8, 0x1C, 0x75, 0xDF, 0x6E,
+    0x47, 0xF1, 0x1A, 0x71, 0x1D, 0x29, 0xC5, 0x89,
+    0x6F, 0xB7, 0x62, 0x0E, 0xAA, 0x18, 0xBE, 0x1B,
+    0xFC, 0x56, 0x3E, 0x4B, 0xC6, 0xD2, 0x79, 0x20,
+    0x9A, 0xDB, 0xC0, 0xFE, 0x78, 0xCD, 0x5A, 0xF4,
+    0x1F, 0xDD, 0xA8, 0x33, 0x88, 0x07, 0xC7, 0x31,
+    0xB1, 0x12, 0x10, 0x59, 0x27, 0x80, 0xEC, 0x5F,
+    0x60, 0x51, 0x7F, 0xA9, 0x19, 0xB5, 0x4A, 0x0D,
+    0x2D, 0xE5, 0x7A, 0x9F, 0x93, 0xC9, 0x9C, 0xEF,
+    0xA0, 0xE0, 0x3B, 0x4D, 0xAE, 0x2A, 0xF5, 0xB0,
+    0xC8, 0xEB, 0xBB, 0x3C, 0x83, 0x53, 0x99, 0x61,
+    0x17, 0x2B, 0x04, 0x7E, 0xBA, 0x77, 0xD6, 0x26,
+    0xE1, 0x69, 0x14, 0x63, 0x55, 0x21, 0x0C, 0x7D,
+]
+
+#: T-table geometry: 256 4-byte entries over 128-byte lines = 8 lines of
+#: 32 entries each.
+ENTRIES_PER_LINE = 32
+
+
+def table_line(index: int) -> int:
+    """Which T-table cache line entry ``index`` lives in."""
+    return index // ENTRIES_PER_LINE
+
+
+def distinct_lines(cts: Sequence[int], key_byte: int) -> int:
+    """Distinct T-table lines a warp touches for these ciphertext bytes."""
+    return len(
+        {table_line(INV_SBOX[ct ^ key_byte]) for ct in cts}
+    )
+
+
+def _victim_program(context: WarpContext) -> WarpProgram:
+    """AES last-round lookups: one warp op per encryption repetition.
+
+    Every warp of the victim block processes the same ciphertext batch
+    (a bulk encryption kernel working through a buffer), so the victim's
+    aggregate NoC traffic per unit time scales with the batch's distinct
+    line count.
+    """
+    args = context.args
+    if context.sm_id != args["victim_sm"]:
+        return
+    key_byte = args["key_byte"]
+    table_base = args["table_base"]
+    line = args["line_bytes"]
+    for batch in args["batches"]:
+        for _rep in range(args["reps"]):
+            addresses = [
+                table_base + table_line(INV_SBOX[ct ^ key_byte]) * line
+                for ct in batch
+            ]
+            # The coalescer collapses same-line lanes: the NoC sees
+            # exactly `distinct_lines(batch, key)` transactions.
+            yield MemOp(READ, addresses)
+
+
+def _spy_program(context: WarpContext) -> WarpProgram:
+    args = context.args
+    if context.sm_id != args["spy_sm"]:
+        return
+    base = args["base"]
+    line = args["line_bytes"]
+    total = 0
+    for op in range(args["probe_ops"]):
+        addresses = [
+            base + ((op * 32 + lane) % 128) * line for lane in range(32)
+        ]
+        latency = yield MemOp(READ, addresses)
+        total += latency
+    args["readings"].append(total)
+
+
+def _pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    if vx == 0 or vy == 0:
+        return 0.0
+    return cov / (vx * vy) ** 0.5
+
+
+@dataclass
+class AesAttackResult:
+    """Outcome of the key-byte recovery."""
+
+    true_key_byte: int
+    #: guess -> correlation between predicted line counts and latencies.
+    correlations: Dict[int, float]
+    measured_latencies: List[float]
+    batches: List[List[int]]
+
+    @property
+    def recovered_key_byte(self) -> int:
+        return max(self.correlations, key=self.correlations.get)
+
+    @property
+    def success(self) -> bool:
+        return self.recovered_key_byte == self.true_key_byte
+
+    def rank_of_true_key(self) -> int:
+        """1 = the true key byte has the highest correlation."""
+        ordered = sorted(
+            self.correlations, key=self.correlations.get, reverse=True
+        )
+        return ordered.index(self.true_key_byte) + 1
+
+
+def _diverse_batches(
+    count: int, lanes: int, rng: random.Random
+) -> List[List[int]]:
+    """Ciphertext batches whose distinct-line counts vary widely.
+
+    Restricting each batch's ciphertexts to a random subset of values
+    spreads the distinct-line count over a wide range, maximizing the
+    correlation signal (the attacker chooses/observes ciphertexts).
+    """
+    batches = []
+    for _ in range(count):
+        pool_size = rng.choice([2, 4, 8, 16, 48, 128, 256])
+        pool = rng.sample(range(256), pool_size)
+        batches.append([rng.choice(pool) for _ in range(lanes)])
+    return batches
+
+
+def run_aes_key_recovery(
+    config: GpuConfig,
+    key_byte: int = 0x3C,
+    num_batches: int = 32,
+    reps: int = 48,
+    probe_ops: int = 24,
+    measure_reps: int = 4,
+    victim_warps: int = 4,
+    guesses: Optional[Sequence[int]] = None,
+    tpc: int = 0,
+    seed: int = 7,
+) -> AesAttackResult:
+    """Recover one AES key byte through the TPC-channel side channel.
+
+    For each ciphertext batch, the victim (encrypting the batch ``reps``
+    times, like a bulk AES kernel) and the spy run co-located; the spy's
+    total probe latency — averaged over ``measure_reps`` independent
+    measurements to beat the machine's timing noise — is recorded.
+    Guesses are ranked by the Pearson correlation between predicted
+    distinct-line counts and the measured latencies.
+    """
+    if not 0 <= key_byte <= 0xFF:
+        raise ValueError("key_byte must be one byte")
+    rng = random.Random(seed)
+    victim_sm, spy_sm = config.tpc_sms(tpc)[:2]
+    line = config.l2_line_bytes
+    batches = _diverse_batches(num_batches, config.simt_width, rng)
+    table_base = 0
+    spy_base = 1 << 22
+    latencies: List[float] = []
+    for index, batch in enumerate(batches):
+        readings_sum = 0.0
+        for rep in range(measure_reps):
+            device = GpuDevice(
+                config, seed_salt=seed + index * 31 + rep
+            )
+            readings: List[float] = []
+            victim = Kernel(
+                _victim_program,
+                num_blocks=config.num_sms,
+                warps_per_block=victim_warps,
+                args={
+                    "victim_sm": victim_sm,
+                    "key_byte": key_byte,
+                    "batches": [batch],
+                    "reps": reps,
+                    "table_base": table_base,
+                    "line_bytes": line,
+                },
+                name="aes-victim",
+            )
+            spy = Kernel(
+                _spy_program,
+                num_blocks=config.num_sms,
+                args={
+                    "spy_sm": spy_sm,
+                    "probe_ops": probe_ops,
+                    "base": spy_base,
+                    "line_bytes": line,
+                    "readings": readings,
+                },
+                name="spy",
+            )
+            device.preload_region(table_base, 8 * line)
+            device.preload_region(spy_base, 128 * line)
+            device.run_kernels([victim, spy])
+            readings_sum += readings[0]
+        latencies.append(readings_sum / measure_reps)
+    guesses = list(guesses) if guesses is not None else list(range(256))
+    correlations = {
+        guess: _pearson(
+            [float(distinct_lines(batch, guess)) for batch in batches],
+            latencies,
+        )
+        for guess in guesses
+    }
+    return AesAttackResult(
+        true_key_byte=key_byte,
+        correlations=correlations,
+        measured_latencies=latencies,
+        batches=batches,
+    )

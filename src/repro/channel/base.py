@@ -1,0 +1,286 @@
+"""Shared machinery for the interconnect covert channels.
+
+Both channel types follow the same lifecycle:
+
+1. **Placement** — a sender grid with one block per TPC is launched first,
+   then a receiver grid of the same size.  Per the reverse-engineered
+   scheduling policy (Section 4.3) this puts one sender block and one
+   receiver block on the two SMs of every TPC.  Which block lands on which
+   TPC is known from :func:`repro.gpu.scheduler.dispatch_order`.
+2. **Calibration** — a known training pattern is transmitted once and the
+   decision threshold(s) placed between the observed latency clusters
+   (the paper determines the threshold empirically from the L2 latency).
+3. **Transmission** — Algorithm 2 runs; the receiver's per-slot latency
+   sums are threshold-decoded into symbols.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import GpuConfig
+from ..gpu.device import GpuDevice
+from ..gpu.kernel import Kernel
+from ..gpu.scheduler import dispatch_order
+from .metrics import TransmissionResult
+from .protocol import (
+    ChannelParams,
+    decode_binary,
+    receiver_program,
+    region_bytes,
+    sender_program,
+)
+
+
+def block_to_tpc_map(config: GpuConfig) -> List[int]:
+    """TPC that block ``i`` of a one-block-per-TPC grid lands on."""
+    order = dispatch_order(config)
+    return [config.sm_to_tpc(sm) for sm in order[: config.num_tpcs]]
+
+
+class CovertChannelBase:
+    """Common sender/receiver orchestration (subclasses choose roles)."""
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        params: Optional[ChannelParams] = None,
+        seed_salt: int = 0,
+        mps_launch_skew: int = 0,
+    ) -> None:
+        self.config = config
+        self.params = params or self.default_params()
+        self.seed_salt = seed_salt
+        #: Cycles between the trojan's and the spy's kernel launches.
+        #: 0 models cudaStream multiprogramming (same process, back to
+        #: back); a large value models MPS, where two processes launch
+        #: independently and only the clock-register synchronization
+        #: aligns them (Section 2.2: the only difference the paper found
+        #: was this one-time launch synchronization overhead).
+        self.mps_launch_skew = mps_launch_skew
+        self._block_tpcs = block_to_tpc_map(config)
+        #: Per-channel decision thresholds (filled by calibrate()); each
+        #: parallel channel has its own baseline because cross-channel
+        #: coupling differs between GPCs.
+        self._channel_thresholds: Optional[List[float]] = None
+
+    # -- subclass interface --------------------------------------------- #
+    def default_params(self) -> ChannelParams:
+        raise NotImplementedError
+
+    def _role_blocks(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """(sender block -> channel index, receiver block -> channel index).
+
+        A *channel* is an independent bit pipe (a TPC pair for the TPC
+        channel, a whole GPC for the GPC channel).  Several sender blocks
+        may feed one channel (GPC channel).
+        """
+        raise NotImplementedError
+
+    @property
+    def num_channels(self) -> int:
+        _, receivers = self._role_blocks()
+        return len(set(receivers.values()))
+
+    # -- payload plumbing ------------------------------------------------ #
+    def _split_payload(self, symbols: Sequence[int]) -> List[List[int]]:
+        """Round-robin the payload over the parallel channels."""
+        n = self.num_channels
+        return [list(symbols[channel::n]) for channel in range(n)]
+
+    def _assemble(self, per_channel: List[List[int]], total: int) -> List[int]:
+        out: List[int] = []
+        index = 0
+        while len(out) < total:
+            channel = index % len(per_channel)
+            slot = index // len(per_channel)
+            channel_symbols = per_channel[channel]
+            out.append(
+                channel_symbols[slot] if slot < len(channel_symbols) else 0
+            )
+            index += 1
+        return out
+
+    # -- transmission ----------------------------------------------------- #
+    def _run(
+        self,
+        per_channel: List[List[int]],
+        levels: Optional[Sequence[int]] = None,
+    ) -> Tuple[Dict[int, List[float]], int]:
+        """Run one transmission; returns per-channel measurements + cycles."""
+        config = self.config
+        params = self.params
+        senders, receivers = self._role_blocks()
+        line = config.l2_line_bytes
+        region = region_bytes(params, line)
+        # Address layout: every (block, role, warp) gets a disjoint region.
+        block_stride = region * (params.sender_warps + 2)
+        sender_base = {
+            block: block * block_stride for block in senders
+        }
+        receiver_base = {
+            block: block * block_stride + params.sender_warps * region
+            for block in receivers
+        }
+        channel_bits = {
+            block: per_channel[channel] for block, channel in senders.items()
+        }
+        num_symbols = {
+            block: len(per_channel[channel])
+            for block, channel in receivers.items()
+        }
+        measurements: Dict[Tuple[int, int], float] = {}
+        device = GpuDevice(config, seed_salt=self.seed_salt)
+        sender_channel_of = dict(senders)
+        receiver_channel_of = dict(receivers)
+        sender_kernel = Kernel(
+            sender_program,
+            num_blocks=config.num_tpcs,
+            warps_per_block=params.sender_warps,
+            args={
+                "params": params,
+                "channel_bits": channel_bits,
+                "base_for": sender_base,
+                "line_bytes": line,
+                "levels": list(levels) if levels is not None else None,
+                "channel_of": sender_channel_of,
+            },
+            name="trojan",
+        )
+        receiver_kernel = Kernel(
+            receiver_program,
+            num_blocks=config.num_tpcs,
+            warps_per_block=1,
+            args={
+                "params": params,
+                "num_symbols": num_symbols,
+                "base_for": receiver_base,
+                "line_bytes": line,
+                "measurements": measurements,
+                "channel_of": receiver_channel_of,
+            },
+            name="spy",
+        )
+        for block, base in sender_base.items():
+            device.preload_region(base, params.sender_warps * region)
+        for block, base in receiver_base.items():
+            device.preload_region(base, region)
+        extra = self._extra_kernels(device)
+        if self.mps_launch_skew:
+            # MPS: the trojan's process launches first; the spy's kernel
+            # arrives after the (OS-scale) launch gap.  The clock-mask
+            # synchronization absorbs any skew below the mask period.
+            device.launch(sender_kernel)
+            device.engine.step(self.mps_launch_skew)
+            kernels = [receiver_kernel, *extra]
+            for kernel in kernels:
+                device.launch(kernel)
+            device.engine.run_until(
+                lambda: sender_kernel.done and receiver_kernel.done,
+                max_cycles=20_000_000,
+                check_every=16,
+            )
+            times = {"spy": device.engine.cycle}
+        else:
+            kernels = [sender_kernel, receiver_kernel, *extra]
+            times = device.run_kernels(kernels)
+        self._check_placement(sender_kernel, receiver_kernel)
+        per_channel_measurements: Dict[int, List[float]] = {}
+        for block, channel in receivers.items():
+            series = [
+                measurements.get((block, slot), 0.0)
+                for slot in range(num_symbols[block])
+            ]
+            per_channel_measurements[channel] = series
+        return per_channel_measurements, times["spy"]
+
+    def _extra_kernels(self, device: GpuDevice) -> List[Kernel]:
+        """Hook: additional kernels co-scheduled with the channel.
+
+        Subclasses use this to model third-kernel interference
+        (Section 5's noise study).  Launched after the sender and
+        receiver grids so their placement is unaffected.
+        """
+        return []
+
+    def _check_placement(
+        self, sender_kernel: Kernel, receiver_kernel: Kernel
+    ) -> None:
+        """Assert the scheduling trick really co-located every pair."""
+        config = self.config
+        for block in range(config.num_tpcs):
+            sender_sm = sender_kernel.blocks[block].sm_id
+            receiver_sm = receiver_kernel.blocks[block].sm_id
+            if sender_sm is None or receiver_sm is None:
+                raise RuntimeError("a channel block was never dispatched")
+            if config.sm_to_tpc(sender_sm) != config.sm_to_tpc(receiver_sm):
+                raise RuntimeError(
+                    f"block {block}: sender on SM {sender_sm}, receiver on "
+                    f"SM {receiver_sm} — not co-located"
+                )
+
+    # -- calibration ------------------------------------------------------ #
+    def calibrate(self, training_symbols: int = 16) -> float:
+        """Transmit a known 0101... pattern; place each channel's threshold
+        midway between its own latency clusters.
+
+        Returns the global (average) threshold, which is also stored in
+        ``self.params``; per-channel thresholds are kept internally and
+        preferred during decoding.
+        """
+        # Phase-shift the training pattern per channel so calibration
+        # observes '0' slots coinciding with other channels' '1' traffic —
+        # the cross-channel coupling a random payload will experience.
+        per_channel = [
+            [(slot + channel) % 2 for slot in range(training_symbols)]
+            for channel in range(self.num_channels)
+        ]
+        measurements, _ = self._run(per_channel)
+        thresholds: List[float] = []
+        for channel in range(self.num_channels):
+            pattern = per_channel[channel]
+            series = measurements[channel]
+            zeros = [v for slot, v in enumerate(series) if not pattern[slot]]
+            ones = [v for slot, v in enumerate(series) if pattern[slot]]
+            if not zeros or not ones:
+                raise RuntimeError("calibration needs both symbol classes")
+            thresholds.append(
+                (sum(zeros) / len(zeros) + sum(ones) / len(ones)) / 2.0
+            )
+        self._channel_thresholds = thresholds
+        threshold = sum(thresholds) / len(thresholds)
+        self.params = self.params.with_(threshold=threshold)
+        return threshold
+
+    def transmit(self, symbols: Sequence[int]) -> TransmissionResult:
+        """Send ``symbols`` (0/1 list) through the covert channel."""
+        symbols = list(symbols)
+        if not symbols:
+            raise ValueError("empty payload")
+        if self.params.threshold is None:
+            self.calibrate()
+        per_channel = self._split_payload(symbols)
+        measurements, cycles = self._run(per_channel)
+        thresholds = self._channel_thresholds or (
+            [self.params.threshold] * self.num_channels
+        )
+        decoded = [
+            decode_binary(measurements[channel], thresholds[channel])
+            for channel in range(self.num_channels)
+        ]
+        received = self._assemble(decoded, len(symbols))
+        return TransmissionResult(
+            config=self.config,
+            sent_symbols=symbols,
+            received_symbols=received,
+            cycles=cycles,
+            measurements=measurements,
+            thresholds=list(thresholds),
+        )
+
+    def transmit_bytes(self, data: bytes) -> TransmissionResult:
+        """Convenience: send raw bytes MSB-first."""
+        bits = [
+            (byte >> (7 - bit)) & 1 for byte in data for bit in range(8)
+        ]
+        return self.transmit(bits)

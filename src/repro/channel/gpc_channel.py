@@ -1,0 +1,106 @@
+"""GPC covert channel (Section 4.5).
+
+When the sender and receiver cannot be co-located inside one TPC, a covert
+channel can still be established if they share a GPC: one TPC of the GPC
+acts as the receiver while the remaining TPCs act as senders.  Because of
+the GPC bandwidth speedup the sender needs more warps than the TPC channel
+(the paper uses 8), and the sender transmits *read* requests — it is the
+read-reply traffic that oversubscribes the GPC reply channel (Section
+3.4).  All SMs of a GPC share low-skew clocks, so the same clock-register
+synchronization works.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..config import GpuConfig
+from ..noc.packet import READ
+from .base import CovertChannelBase
+from .protocol import ChannelParams
+
+
+class GpcCovertChannel(CovertChannelBase):
+    """One or more parallel GPC channels.
+
+    Each active GPC carries one bit pipe: its first TPC hosts the
+    receiver (on the second SM of the TPC, placed by the receiver grid),
+    every other TPC hosts sender blocks.
+    """
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        params: Optional[ChannelParams] = None,
+        gpcs: Optional[Sequence[int]] = None,
+        seed_salt: int = 0,
+    ) -> None:
+        super().__init__(config, params, seed_salt)
+        if gpcs is None:
+            gpcs = [0]
+        self.channel_gpcs = list(gpcs)
+        missing = set(self.channel_gpcs) - set(range(config.num_gpcs))
+        if missing:
+            raise ValueError(f"unknown GPC ids: {sorted(missing)}")
+
+    @classmethod
+    def all_channels(
+        cls,
+        config: GpuConfig,
+        params: Optional[ChannelParams] = None,
+        seed_salt: int = 0,
+    ) -> "GpcCovertChannel":
+        """The multi-GPC attack: one channel per GPC (Fig 10d).
+
+        All six GPCs' senders stream reads simultaneously, so every
+        receiver's probes slow down well beyond the single-GPC case (the
+        paper's ~3% error / lower-than-proportional bandwidth at 6 GPCs
+        has the same root cause).  The default slot is stretched so a '1'
+        slot's probes still fit.
+        """
+        if params is None:
+            params = ChannelParams(
+                sender_kind=READ,
+                sender_warps=2,
+                slot_base=700,
+                slot_per_iteration=1000,
+            )
+        return cls(
+            config,
+            params,
+            gpcs=list(range(config.num_gpcs)),
+            seed_salt=seed_salt,
+        )
+
+    def default_params(self) -> ChannelParams:
+        # Reads and a longer slot (the paper raises T for the GPC channel
+        # because more SMs must communicate).  The sender's per-slot read
+        # volume is sized to drain within the slot at the MSHR-capped read
+        # rate so it never overruns its slot and drifts.
+        return ChannelParams(
+            sender_kind=READ,
+            sender_warps=2,
+            slot_base=700,
+            slot_per_iteration=500,
+        )
+
+    def _role_blocks(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        members = self.config.gpc_members()
+        gpc_to_channel = {
+            gpc: channel for channel, gpc in enumerate(self.channel_gpcs)
+        }
+        receiver_tpcs = {
+            members[gpc][0]: gpc_to_channel[gpc] for gpc in self.channel_gpcs
+        }
+        sender_tpcs: Dict[int, int] = {}
+        for gpc in self.channel_gpcs:
+            for tpc in members[gpc][1:]:
+                sender_tpcs[tpc] = gpc_to_channel[gpc]
+        senders: Dict[int, int] = {}
+        receivers: Dict[int, int] = {}
+        for block, tpc in enumerate(self._block_tpcs):
+            if tpc in sender_tpcs:
+                senders[block] = sender_tpcs[tpc]
+            if tpc in receiver_tpcs:
+                receivers[block] = receiver_tpcs[tpc]
+        return senders, receivers

@@ -1,0 +1,424 @@
+"""Handshake/preamble synchronization — the clock-fuzzing workaround.
+
+Section 6 observes that clock fuzzing "does not necessarily remove the
+covert channel as alternative synchronization approaches can be
+explored", e.g. handshaking on the interconnect channel itself.  This
+module implements that fallback as an *asynchronous* channel that never
+trusts the clock register across SMs:
+
+* the **sender** paces itself by instruction counting (busy loops —
+  `WaitCycles` — whose duration is independent of the fuzzed clock
+  register) and prefixes the payload with a fixed preamble;
+* the **receiver** simply probes back-to-back, recording every probe
+  latency — a sampled waveform of the channel contention;
+* the decoder recovers timing offline: it grid-searches the preamble's
+  (offset, samples-per-slot) against the waveform (matched-filter
+  alignment, telecom-style), then averages each symbol window and
+  thresholds.
+
+Works unchanged when ``config.clock_fuzz`` is large enough to defeat the
+baseline clock-synchronized channel — demonstrating the paper's point
+that fuzzing alone is not a sufficient countermeasure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import GpuConfig
+from ..gpu.device import GpuDevice
+from ..gpu.kernel import Kernel
+from ..gpu.warp import MemOp, WaitCycles, WarpContext, WarpProgram, READ
+from .base import CovertChannelBase, block_to_tpc_map
+from .metrics import TransmissionResult
+from .protocol import (
+    ChannelParams,
+    receiver_addresses,
+    region_bytes,
+    sender_addresses,
+)
+
+#: A preamble with sharp autocorrelation (Barker-7-like).
+DEFAULT_PREAMBLE = (1, 1, 1, 0, 0, 1, 0)
+
+
+def _async_sender_program(context: WarpContext) -> WarpProgram:
+    """Counted-pacing sender: bursts for '1', matched idle for '0'."""
+    args = context.args
+    params: ChannelParams = args["params"]
+    bits = args["channel_bits"].get(context.block_id)
+    if bits is None:
+        return
+    line = args["line_bytes"]
+    base = args["base_for"][context.block_id] + context.warp_id * region_bytes(
+        params, line
+    )
+    #: Busy cycles standing in for a '1' burst's issue time, so '0' and
+    #: '1' slots take the same wall time without consulting the clock.
+    zero_pad = args["zero_pad"]
+    slot_pad = args["slot_pad"]
+    for symbol in bits:
+        if symbol:
+            for op in range(params.iterations):
+                addresses = sender_addresses(params, base, line, op)
+                yield MemOp(
+                    params.sender_kind, addresses, wait_for_completion=False
+                )
+        else:
+            yield WaitCycles(zero_pad)
+        yield WaitCycles(slot_pad)
+
+
+def _async_receiver_program(context: WarpContext) -> WarpProgram:
+    """Free-running receiver: back-to-back probes, every latency kept."""
+    args = context.args
+    params: ChannelParams = args["params"]
+    num_probes = args["num_probes"].get(context.block_id)
+    if num_probes is None:
+        return
+    line = args["line_bytes"]
+    base = args["base_for"][context.block_id]
+    samples: Dict = args["samples"]
+    for index in range(num_probes):
+        addresses = receiver_addresses(params, base, line, index)
+        latency = yield MemOp(READ, addresses)
+        samples[(context.block_id, index)] = latency
+
+
+def waveform_timeline(waveform: Sequence[float]) -> List[float]:
+    """Midpoint time of each back-to-back probe.
+
+    Probe ``k`` starts when probe ``k-1`` completes, so its latency IS its
+    duration: the cumulative sum reconstructs the wall-clock axis the
+    clock register would have provided.
+    """
+    midpoints: List[float] = []
+    now = 0.0
+    for latency in waveform:
+        midpoints.append(now + latency / 2.0)
+        now += latency
+    return midpoints
+
+
+def _window_mean(
+    waveform: Sequence[float],
+    midpoints: Sequence[float],
+    start: float,
+    end: float,
+) -> Optional[float]:
+    values = [
+        value
+        for value, mid in zip(waveform, midpoints)
+        if start <= mid < end
+    ]
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+@dataclass
+class AlignmentFit:
+    """Result of the preamble time-domain search."""
+
+    offset_cycles: float
+    score: float
+
+
+def fit_preamble(
+    waveform: Sequence[float],
+    preamble: Sequence[int],
+    slot_cycles: int,
+    payload_symbols: int,
+    step: Optional[int] = None,
+    offset_min: float = 0.0,
+    offset_max: Optional[float] = None,
+) -> AlignmentFit:
+    """Slide the preamble along the reconstructed time axis.
+
+    The symbol rate is known exactly (the sender paces ``slot_cycles``
+    per symbol by instruction counting); only the start offset is
+    unknown.  The best offset maximizes the mean-latency contrast between
+    the preamble's '1' and '0' windows.  ``offset_min``/``offset_max``
+    bound the search (frame-by-frame decoding re-anchors each frame near
+    its expected position).
+    """
+    midpoints = waveform_timeline(waveform)
+    total_time = sum(waveform)
+    frame_time = slot_cycles * (len(preamble) + payload_symbols)
+    step = step or max(1, slot_cycles // 8)
+    best = AlignmentFit(offset_cycles=offset_min, score=float("-inf"))
+    offset = max(0.0, offset_min)
+    limit = total_time + slot_cycles
+    if offset_max is not None:
+        limit = min(limit, offset_max + frame_time)
+    while offset + frame_time <= limit:
+        ones: List[float] = []
+        zeros: List[float] = []
+        for index, bit in enumerate(preamble):
+            mean = _window_mean(
+                waveform,
+                midpoints,
+                offset + index * slot_cycles,
+                offset + (index + 1) * slot_cycles,
+            )
+            if mean is not None:
+                (ones if bit else zeros).append(mean)
+        if ones and zeros:
+            score = sum(ones) / len(ones) - sum(zeros) / len(zeros)
+            if score > best.score:
+                best = AlignmentFit(offset, score)
+        offset += step
+    return best
+
+
+def decode_waveform(
+    waveform: Sequence[float],
+    fit: AlignmentFit,
+    preamble_len: int,
+    payload_symbols: int,
+    slot_cycles: int,
+    threshold: float,
+) -> List[int]:
+    """Average each symbol's time window and threshold it."""
+    midpoints = waveform_timeline(waveform)
+    start = fit.offset_cycles + preamble_len * slot_cycles
+    symbols: List[int] = []
+    for index in range(payload_symbols):
+        mean = _window_mean(
+            waveform,
+            midpoints,
+            start + index * slot_cycles,
+            start + (index + 1) * slot_cycles,
+        )
+        symbols.append(1 if mean is not None and mean > threshold else 0)
+    return symbols
+
+
+class HandshakeTpcChannel(CovertChannelBase):
+    """Clock-free TPC channel: preamble alignment + counted pacing."""
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        params: Optional[ChannelParams] = None,
+        channels: Optional[Sequence[int]] = None,
+        preamble: Sequence[int] = DEFAULT_PREAMBLE,
+        frame_symbols: int = 10,
+        seed_salt: int = 0,
+    ) -> None:
+        super().__init__(config, params, seed_salt)
+        if channels is None:
+            channels = [0]
+        self.channel_tpcs = list(channels)
+        self.preamble = list(preamble)
+        if len(set(self.preamble)) < 2:
+            raise ValueError("preamble must contain both symbols")
+        if frame_symbols < 1:
+            raise ValueError("frame_symbols must be positive")
+        #: Payload symbols between preambles.  Counted pacing drifts a few
+        #: cycles per symbol (a '1' burst's drain time varies with
+        #: contention), so each frame re-anchors on a fresh preamble.
+        self.frame_symbols = frame_symbols
+        #: Calibrated per-channel thresholds and the effective slot
+        #: length (counted pacing runs slightly over the nominal slot
+        #: when the burst drains slower under contention).
+        self._thresholds: Optional[List[float]] = None
+        self._slot_estimate: Optional[int] = None
+
+    def default_params(self) -> ChannelParams:
+        # A slightly longer slot absorbs the pacing drift that counted
+        # slots accumulate (no mid-frame resync exists in this mode).
+        return ChannelParams(sender_warps=2, slot_per_iteration=450)
+
+    def _role_blocks(self):
+        tpc_to_channel = {
+            tpc: index for index, tpc in enumerate(self.channel_tpcs)
+        }
+        senders = {}
+        receivers = {}
+        for block, tpc in enumerate(self._block_tpcs):
+            channel = tpc_to_channel.get(tpc)
+            if channel is not None:
+                senders[block] = channel
+                receivers[block] = channel
+        return senders, receivers
+
+    # ------------------------------------------------------------------ #
+    def _run_async(
+        self, per_channel_bits: List[List[int]]
+    ) -> Tuple[Dict[int, List[float]], int]:
+        config = self.config
+        params = self.params
+        senders, receivers = self._role_blocks()
+        line = config.l2_line_bytes
+        region = region_bytes(params, line)
+        block_stride = region * (params.sender_warps + 2)
+        sender_base = {block: block * block_stride for block in senders}
+        receiver_base = {
+            block: block * block_stride + params.sender_warps * region
+            for block in receivers
+        }
+        # The '0' idle must match a '1' burst's *drain* time through the
+        # width-1 TPC channel, or slot lengths would be data dependent:
+        # all sender warps' flits serialize at tpc_channel_width/cycle.
+        flits_per_txn = (
+            config.write_request_flits
+            if params.sender_kind == "write"
+            else config.read_request_flits
+        )
+        zero_pad = (
+            params.iterations * params.lanes * flits_per_txn
+            * params.sender_warps // max(1, config.tpc_channel_width)
+        )
+        slot_pad = max(32, params.slot - zero_pad)
+        frame_len = max(len(bits) for bits in per_channel_bits)
+        #: Receiver samples generously: frame duration / min probe time.
+        probe_floor = 200
+        num_probes = {
+            block: 2 + (frame_len + 2) * params.slot // probe_floor
+            for block in receivers
+        }
+        samples: Dict = {}
+        device = GpuDevice(config, seed_salt=self.seed_salt)
+        sender_kernel = Kernel(
+            _async_sender_program,
+            num_blocks=config.num_tpcs,
+            warps_per_block=params.sender_warps,
+            args={
+                "params": params,
+                "channel_bits": {
+                    block: per_channel_bits[channel]
+                    for block, channel in senders.items()
+                },
+                "base_for": sender_base,
+                "line_bytes": line,
+                "zero_pad": zero_pad,
+                "slot_pad": slot_pad,
+            },
+            name="trojan-async",
+        )
+        receiver_kernel = Kernel(
+            _async_receiver_program,
+            num_blocks=config.num_tpcs,
+            warps_per_block=1,
+            args={
+                "params": params,
+                "num_probes": num_probes,
+                "base_for": receiver_base,
+                "line_bytes": line,
+                "samples": samples,
+            },
+            name="spy-async",
+        )
+        for block, base in sender_base.items():
+            device.preload_region(base, params.sender_warps * region)
+        for block, base in receiver_base.items():
+            device.preload_region(base, region)
+        times = device.run_kernels([sender_kernel, receiver_kernel])
+        waveforms: Dict[int, List[float]] = {}
+        for block, channel in receivers.items():
+            waveforms[channel] = [
+                samples.get((block, index), 0.0)
+                for index in range(num_probes[block])
+            ]
+        return waveforms, times["spy-async"]
+
+    # ------------------------------------------------------------------ #
+    def calibrate(self, training_symbols: int = 12) -> float:
+        """Estimate per-channel thresholds and the effective slot length.
+
+        Transmits a known alternating pattern; the threshold sits between
+        the low/high latency clusters, and the slot length is recovered
+        by maximizing the known pattern's time-domain contrast over a
+        small grid around the nominal slot (counted pacing stretches
+        slightly when the burst drains slower than its idle equivalent).
+        """
+        pattern = [slot % 2 for slot in range(training_symbols)]
+        framed = [
+            self.preamble + pattern for _ in range(self.num_channels)
+        ]
+        waveforms, _ = self._run_async(framed)
+        known = self.preamble + pattern
+        nominal = self.params.slot
+        candidates = range(
+            int(nominal * 0.92), int(nominal * 1.2), max(8, nominal // 48)
+        )
+        thresholds: List[float] = []
+        slot_votes: List[int] = []
+        for channel in range(self.num_channels):
+            waveform = waveforms[channel]
+            low = sorted(waveform)[: max(1, len(waveform) // 3)]
+            high = sorted(waveform)[-max(1, len(waveform) // 3):]
+            thresholds.append(
+                (sum(low) / len(low) + sum(high) / len(high)) / 2.0
+            )
+            best_slot = nominal
+            best_score = float("-inf")
+            for slot in candidates:
+                fit = fit_preamble(waveform, known, slot, 0)
+                if fit.score > best_score:
+                    best_score = fit.score
+                    best_slot = slot
+            slot_votes.append(best_slot)
+        self._thresholds = thresholds
+        self._slot_estimate = round(sum(slot_votes) / len(slot_votes))
+        return sum(thresholds) / len(thresholds)
+
+    def _frames(self, bits: List[int]) -> List[List[int]]:
+        size = self.frame_symbols
+        return [bits[i : i + size] for i in range(0, len(bits), size)]
+
+    def transmit(self, symbols: Sequence[int]) -> TransmissionResult:
+        symbols = list(symbols)
+        if not symbols:
+            raise ValueError("empty payload")
+        if self._thresholds is None:
+            self.calibrate()
+        per_channel = self._split_payload(symbols)
+        framed: List[List[int]] = []
+        for bits in per_channel:
+            sequence: List[int] = []
+            for frame in self._frames(bits):
+                sequence.extend(self.preamble)
+                sequence.extend(frame)
+            framed.append(sequence)
+        waveforms, cycles = self._run_async(framed)
+        slot = self._slot_estimate or self.params.slot
+        decoded: List[List[int]] = []
+        for channel in range(self.num_channels):
+            waveform = waveforms[channel]
+            bits_out: List[int] = []
+            hint = 0.0
+            for frame in self._frames(per_channel[channel]):
+                fit = fit_preamble(
+                    waveform,
+                    self.preamble,
+                    slot,
+                    len(frame),
+                    offset_min=max(0.0, hint - 2 * slot),
+                    offset_max=hint + 4 * slot,
+                )
+                bits_out.extend(
+                    decode_waveform(
+                        waveform,
+                        fit,
+                        len(self.preamble),
+                        len(frame),
+                        slot,
+                        self._thresholds[channel],
+                    )
+                )
+                hint = fit.offset_cycles + slot * (
+                    len(self.preamble) + len(frame)
+                )
+            decoded.append(bits_out)
+        received = self._assemble(decoded, len(symbols))
+        return TransmissionResult(
+            config=self.config,
+            sent_symbols=symbols,
+            received_symbols=received,
+            cycles=cycles,
+            measurements=waveforms,
+        )

@@ -1,0 +1,98 @@
+"""Covert-channel quality metrics: error rate, bandwidth, capacity."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import GpuConfig
+
+
+def bit_error_rate(sent: Sequence[int], received: Sequence[int]) -> float:
+    """Fraction of differing symbols (length mismatch counts as errors)."""
+    if not sent:
+        return 0.0
+    errors = sum(
+        1 for s, r in zip(sent, received) if s != r
+    ) + abs(len(sent) - len(received))
+    return errors / max(len(sent), len(received))
+
+
+def channel_capacity_per_symbol(error_rate: float, levels: int = 2) -> float:
+    """Shannon capacity (bits/symbol) of a symmetric channel.
+
+    Used to report effective bandwidth of the multi-level channel where a
+    raw symbol carries log2(levels) bits but errors eat into it.
+    """
+    if levels < 2:
+        raise ValueError("levels must be >= 2")
+    p = min(max(error_rate, 0.0), 1.0 - 1.0 / levels)
+    raw = math.log2(levels)
+    # Treat probabilities below double-precision resolution as zero so
+    # p/(levels-1) cannot underflow inside the logarithm.
+    if p < 1e-300:
+        return raw
+    # Symmetric channel: the error mass spreads over the other levels.
+    return (
+        raw
+        + p * math.log2(p / (levels - 1))
+        + (1.0 - p) * math.log2(1.0 - p)
+    )
+
+
+@dataclass
+class TransmissionResult:
+    """Outcome of one covert-channel transmission."""
+
+    config: GpuConfig
+    sent_symbols: List[int]
+    received_symbols: List[int]
+    #: Total wall time of the transmission in GPU core cycles.
+    cycles: int
+    #: Bits encoded per symbol (1 for binary, 2 for the 4-level channel).
+    bits_per_symbol: float = 1.0
+    #: Raw per-slot receiver measurements, per channel (diagnostics).
+    measurements: Dict[int, List[float]] = field(default_factory=dict)
+    #: Decision threshold(s) used by the decoder.
+    thresholds: List[float] = field(default_factory=list)
+
+    @property
+    def num_symbols(self) -> int:
+        return len(self.sent_symbols)
+
+    @property
+    def error_rate(self) -> float:
+        return bit_error_rate(self.sent_symbols, self.received_symbols)
+
+    @property
+    def seconds(self) -> float:
+        return self.config.cycles_to_seconds(self.cycles)
+
+    @property
+    def bandwidth_bps(self) -> float:
+        """Raw symbol bandwidth in bits/second at the core clock."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.num_symbols * self.bits_per_symbol / self.seconds
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        return self.bandwidth_bps / 1e6
+
+    @property
+    def effective_bandwidth_bps(self) -> float:
+        """Error-discounted bandwidth (capacity x symbol rate)."""
+        levels = max(2, int(round(2 ** self.bits_per_symbol)))
+        per_symbol = channel_capacity_per_symbol(self.error_rate, levels)
+        if self.cycles <= 0:
+            return 0.0
+        return self.num_symbols * per_symbol / self.seconds
+
+    def summary(self) -> str:
+        return (
+            f"{self.num_symbols} symbols in {self.cycles} cycles "
+            f"({self.seconds * 1e6:.1f} us): "
+            f"{self.bandwidth_mbps:.3f} Mbps, "
+            f"error rate {self.error_rate:.4f}"
+        )

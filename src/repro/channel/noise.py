@@ -1,0 +1,141 @@
+"""Third-kernel noise injection (Section 5, "Impact of Noise").
+
+The paper's noise analysis: the covert channel lives off L2-resident
+accesses, so a third co-located kernel matters through two mechanisms —
+
+* **bandwidth noise**: its requests share L2 slices and reply channels
+  with the channel's probes, adding latency jitter;
+* **capacity noise**: if it thrashes the L2, the channel's lines are
+  evicted, probes detour to DRAM, and "the noise from main memory
+  accesses will become dominant and make the covert channel infeasible".
+
+The attacker's mitigation is occupancy: claiming all SMs (the multi-TPC
+attack) leaves no room for a third kernel.  This module runs a covert
+transmission while an interferer kernel of configurable footprint and
+intensity executes on otherwise-unused TPCs, quantifying both effects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..config import GpuConfig
+from ..gpu.kernel import Kernel
+from ..gpu.workloads import streaming_program
+from .metrics import TransmissionResult
+from .protocol import ChannelParams
+from .tpc_channel import TpcCovertChannel
+
+
+@dataclass
+class NoiseStudyPoint:
+    """Channel quality under one interferer configuration."""
+
+    label: str
+    #: Interferer footprint as a fraction of total L2 capacity.
+    footprint_fraction: float
+    error_rate: float
+    bandwidth_mbps: float
+
+
+class InterferedTpcChannel(TpcCovertChannel):
+    """A TPC channel transmitting alongside a third 'victim' kernel.
+
+    The interferer runs one streaming warp on the first SM of every TPC
+    that carries no covert channel, with a configurable L2 footprint —
+    small footprints only add bandwidth noise, L2-scale footprints evict
+    the channel's lines (capacity noise).
+    """
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        params: Optional[ChannelParams] = None,
+        channels: Optional[Sequence[int]] = None,
+        interferer_footprint_bytes: int = 0,
+        interferer_ops: int = 64,
+        seed_salt: int = 0,
+    ) -> None:
+        super().__init__(config, params, channels, seed_salt)
+        self.interferer_footprint_bytes = interferer_footprint_bytes
+        self.interferer_ops = interferer_ops
+        #: Base address far above any channel region.
+        self._interferer_base = 1 << 28
+
+    def _interferer_kernel(self) -> Optional[Kernel]:
+        if self.interferer_footprint_bytes <= 0:
+            return None
+        config = self.config
+        free_tpcs = sorted(
+            set(range(config.num_tpcs)) - set(self.channel_tpcs)
+        )
+        if not free_tpcs:
+            return None
+        active_sms = {config.tpc_sms(tpc)[0] for tpc in free_tpcs}
+        footprint_lines = max(
+            32, self.interferer_footprint_bytes // config.l2_line_bytes
+        )
+        # Posted writes sweep the footprint at full injection rate and
+        # allocate into the L2, so an L2-scale footprint actually evicts
+        # the channel's lines set by set.  Enough ops to sweep the whole
+        # footprint at least twice, or the configured minimum.
+        lanes = config.simt_width
+        ops = max(self.interferer_ops, 2 * footprint_lines // lanes)
+        return Kernel(
+            streaming_program,
+            num_blocks=config.num_sms,
+            warps_per_block=1,
+            args={
+                "kind": "write",
+                "ops": ops,
+                "base": self._interferer_base,
+                "line_bytes": config.l2_line_bytes,
+                "footprint_lines": footprint_lines,
+                "active_sms": active_sms,
+                "duty": 1.0,
+            },
+            name="interferer",
+        )
+
+    def _extra_kernels(self, device):
+        interferer = self._interferer_kernel()
+        return [interferer] if interferer is not None else []
+
+
+def run_noise_study(
+    config: GpuConfig,
+    footprint_fractions: Sequence[float] = (0.0, 0.05, 0.5, 2.0),
+    payload_bits: int = 48,
+    channels: Optional[Sequence[int]] = None,
+    seed: int = 37,
+) -> List[NoiseStudyPoint]:
+    """Transmit the same payload against interferers of growing footprint.
+
+    Fractions are of total L2 capacity: 0 disables the interferer, small
+    fractions add bandwidth noise only, fractions >= 1 thrash the L2 and
+    should destroy the channel (the paper's infeasibility point).
+    """
+    rng = random.Random(seed)
+    bits = [rng.randint(0, 1) for _ in range(payload_bits)]
+    total_l2 = config.num_l2_slices * config.l2_slice_bytes
+    points: List[NoiseStudyPoint] = []
+    for fraction in footprint_fractions:
+        channel = InterferedTpcChannel(
+            config,
+            channels=channels,
+            interferer_footprint_bytes=int(total_l2 * fraction),
+        )
+        channel.calibrate()
+        result = channel.transmit(bits)
+        label = "no interferer" if fraction == 0 else f"{fraction:.2f}x L2"
+        points.append(
+            NoiseStudyPoint(
+                label=label,
+                footprint_fraction=fraction,
+                error_rate=result.error_rate,
+                bandwidth_mbps=result.bandwidth_mbps,
+            )
+        )
+    return points

@@ -1,0 +1,160 @@
+"""NoC-contention side channel (Section 5, "Side Channel Attack").
+
+The covert-channel leakage generalizes to a side channel: because the TPC
+channel's contention is linear in the co-located SM's L2 traffic
+(Figure 8), a spy sharing a TPC with a *victim* can estimate the victim's
+L1 miss count from its own probe latency — without any cooperation from
+the victim.  The paper notes this as an example of how the leak enables
+attacks such as AES key recovery that correlate secret-dependent cache
+behaviour with timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import GpuConfig
+from ..gpu.coalescer import lane_addresses_uncoalesced
+from ..gpu.device import GpuDevice
+from ..gpu.kernel import Kernel
+from ..gpu.warp import MemOp, WaitCycles, WarpContext, WarpProgram, READ, WRITE
+
+
+def _victim_program(context: WarpContext) -> WarpProgram:
+    """A victim whose L2 traffic depends on its (secret) L1 hit rate.
+
+    ``l1_miss_ops`` of its ``total_ops`` warp reads miss L1 and travel the
+    interconnect; the remainder are L1 hits (modelled as idle issue slots,
+    since an L1 hit never touches the NoC).
+    """
+    args = context.args
+    if context.sm_id != args["victim_sm"]:
+        return
+    total_ops = args["total_ops"]
+    miss_ops = args["l1_miss_ops"]
+    base = args["base"]
+    line_bytes = args["line_bytes"]
+    for op in range(total_ops):
+        if op < miss_ops:
+            addresses = lane_addresses_uncoalesced(
+                base + (op % 8) * 32 * line_bytes, line_bytes
+            )
+            yield MemOp(WRITE, addresses, wait_for_completion=False)
+        else:
+            yield WaitCycles(32)  # an L1 hit costs issue time, not NoC
+
+
+def _spy_program(context: WarpContext) -> WarpProgram:
+    """The spy probes the shared TPC channel and records total latency."""
+    args = context.args
+    if context.sm_id != args["spy_sm"]:
+        return
+    base = args["base"]
+    line_bytes = args["line_bytes"]
+    total = 0
+    for op in range(args["probe_ops"]):
+        addresses = lane_addresses_uncoalesced(
+            base + (op % 8) * 32 * line_bytes, line_bytes
+        )
+        latency = yield MemOp(READ, addresses)
+        total += latency
+    args["readings"].append(total)
+
+
+@dataclass
+class SideChannelTrace:
+    """Spy latency vs victim L1-miss count."""
+
+    miss_counts: List[int]
+    spy_latencies: List[float]
+
+    def correlation(self) -> float:
+        """Pearson correlation between miss count and spy latency."""
+        xs = [float(x) for x in self.miss_counts]
+        ys = self.spy_latencies
+        n = len(xs)
+        mx = sum(xs) / n
+        my = sum(ys) / n
+        cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+        vx = sum((x - mx) ** 2 for x in xs)
+        vy = sum((y - my) ** 2 for y in ys)
+        if vx == 0 or vy == 0:
+            return 0.0
+        return cov / (vx * vy) ** 0.5
+
+    def fit(self) -> Tuple[float, float]:
+        """Least-squares (slope, intercept) of latency vs miss count."""
+        xs = [float(x) for x in self.miss_counts]
+        ys = self.spy_latencies
+        n = len(xs)
+        mx = sum(xs) / n
+        my = sum(ys) / n
+        num = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+        den = sum((x - mx) ** 2 for x in xs)
+        slope = num / den if den else 0.0
+        return slope, my - slope * mx
+
+    def estimate_misses(self, spy_latency: float) -> float:
+        """Invert the fit: estimate a victim's miss count from a reading."""
+        slope, intercept = self.fit()
+        if slope == 0:
+            return 0.0
+        return (spy_latency - intercept) / slope
+
+
+def measure_l1_miss_leakage(
+    config: GpuConfig,
+    miss_counts: Sequence[int] = (0, 4, 8, 12, 16, 20, 24, 28, 32),
+    total_ops: int = 32,
+    probe_ops: int = 8,
+    tpc: int = 0,
+    seed_salt: int = 0,
+) -> SideChannelTrace:
+    """Profile spy latency against a victim's L1 miss count.
+
+    For each miss count, the victim and spy run co-located on one TPC and
+    the spy's total probe latency is recorded.  The linear correlation is
+    the Section 5 claim: NoC contention measures "the amount of L1 miss".
+    """
+    victim_sm, spy_sm = config.tpc_sms(tpc)[:2]
+    line = config.l2_line_bytes
+    latencies: List[float] = []
+    for index, misses in enumerate(miss_counts):
+        if not 0 <= misses <= total_ops:
+            raise ValueError(f"miss count {misses} not in [0, {total_ops}]")
+        device = GpuDevice(config, seed_salt=seed_salt + index)
+        readings: List[float] = []
+        victim = Kernel(
+            _victim_program,
+            num_blocks=config.num_sms,
+            args={
+                "victim_sm": victim_sm,
+                "total_ops": total_ops,
+                "l1_miss_ops": misses,
+                "base": 0,
+                "line_bytes": line,
+            },
+            name="victim",
+        )
+        spy = Kernel(
+            _spy_program,
+            num_blocks=config.num_sms,
+            args={
+                "spy_sm": spy_sm,
+                "probe_ops": probe_ops,
+                "base": 1 << 22,
+                "line_bytes": line,
+                "readings": readings,
+            },
+            name="spy",
+        )
+        device.preload_region(0, 8 * 32 * line)
+        device.preload_region(1 << 22, 8 * 32 * line)
+        device.run_kernels([victim, spy])
+        if not readings:
+            raise RuntimeError("spy program produced no reading")
+        latencies.append(readings[0])
+    return SideChannelTrace(
+        miss_counts=list(miss_counts), spy_latencies=latencies
+    )

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Gives downstream users a zero-code way to run the paper's experiments::
+
+    python -m repro info                    # show the GPU configuration
+    python -m repro transmit --message hi   # covert-channel quickstart
+    python -m repro fig2                    # TPC discovery sweep
+    python -m repro fig5                    # read/write contention
+    python -m repro fig6                    # clock survey
+    python -m repro fig10 --panel tpc       # bandwidth vs iterations
+    python -m repro fig15                   # arbitration countermeasures
+    python -m repro table2                  # measured channel summary
+
+``--scale {small,medium,volta}`` selects the simulated GPU (default
+small: fastest; volta is the full Table-1 V100 and can take minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .analysis import format_series, format_table
+from .config import (
+    GpuConfig,
+    PASCAL_P100,
+    TURING_TU104,
+    VOLTA_V100,
+    medium_config,
+    small_config,
+)
+
+SCALES = {
+    "small": small_config,
+    "medium": medium_config,
+    "volta": lambda: VOLTA_V100,
+    "pascal": lambda: PASCAL_P100,
+    "turing": lambda: TURING_TU104,
+}
+
+
+def _config(args) -> GpuConfig:
+    return SCALES[args.scale]()
+
+
+def cmd_info(args) -> int:
+    config = _config(args)
+    rows = [
+        ("core clock", f"{config.core_clock_mhz} MHz"),
+        ("GPCs", config.num_gpcs),
+        ("TPCs", config.num_tpcs),
+        ("SMs", config.num_sms),
+        ("L2 slices", f"{config.num_l2_slices} x "
+                      f"{config.l2_slice_bytes // 1024} KB"),
+        ("memory controllers", config.num_memory_controllers),
+        ("TPC channel width", f"{config.tpc_channel_width} flit/cycle"),
+        ("GPC channel width", f"{config.gpc_channel_width} flits/cycle"),
+        ("GPC reply width", f"{config.gpc_reply_width} flits/cycle"),
+        ("arbitration", config.arbitration.upper()),
+    ]
+    print(format_table(["parameter", "value"], rows))
+    members = config.gpc_members()
+    for gpc, tpcs in members.items():
+        print(f"GPC {gpc}: TPCs {tpcs}")
+    return 0
+
+
+def cmd_transmit(args) -> int:
+    from .channel import TpcCovertChannel
+
+    config = _config(args)
+    channel = (
+        TpcCovertChannel.all_channels(config)
+        if args.all_tpcs
+        else TpcCovertChannel(config)
+    )
+    channel.calibrate()
+    message = args.message.encode()
+    result = channel.transmit_bytes(message)
+    value = 0
+    for bit in result.received_symbols:
+        value = (value << 1) | bit
+    recovered = value.to_bytes(len(message), "big")
+    print(f"sent      : {message!r}")
+    print(f"recovered : {recovered!r}")
+    print(result.summary())
+    return 0 if result.error_rate < 0.1 else 1
+
+
+def cmd_fig2(args) -> int:
+    from .reveng import sweep_tpc_pairing
+
+    config = _config(args)
+    sweep = sweep_tpc_pairing(config, ops=args.ops)
+    normalized = sweep.normalized()
+    xs = sorted(normalized)
+    print(format_series(
+        xs, [normalized[x] for x in xs], "SM id", "normalized SM0 time"
+    ))
+    print(f"TPC sibling(s) of SM0: {sweep.partner_of_sm0()}")
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    from .reveng import rw_contention_profile
+
+    config = _config(args)
+    profile = rw_contention_profile(config, ops=args.ops)
+    print("TPC channel (2 SMs):")
+    print(format_table(
+        ["access", "normalized time"], list(profile.tpc.items())
+    ))
+    print("\nGPC channel:")
+    rows = [
+        (n + 1, profile.gpc["write"][n], profile.gpc["read"][n])
+        for n in range(len(profile.gpc["write"]))
+    ]
+    print(format_table(["active TPCs", "write", "read"], rows))
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    from .reveng import survey_clocks
+
+    config = _config(args)
+    survey = survey_clocks(config)
+    print(format_series(
+        sorted(survey.values),
+        [survey.values[sm] for sm in sorted(survey.values)],
+        "SM id", "clock()",
+    ))
+    print(f"max intra-TPC skew: {max(survey.tpc_skews())}")
+    print(f"max intra-GPC skew: {max(survey.gpc_skews())}")
+    return 0
+
+
+def cmd_fig10(args) -> int:
+    from .analysis import fig10_panel
+
+    config = _config(args)
+    series = fig10_panel(
+        config, args.panel, iterations=tuple(args.iterations),
+        bits_per_channel=args.bits,
+    )
+    print(format_table(
+        ["iterations", "bit rate (kbps)", "error rate"], series.rows()
+    ))
+    return 0
+
+
+def cmd_fig15(args) -> int:
+    from .defense import arbitration_leakage_sweep
+
+    config = _config(args).replace(timing_noise=0)
+    sweep = arbitration_leakage_sweep(
+        config, fractions=(0.0, 0.25, 0.5, 0.75, 1.0), ops=args.ops
+    )
+    rows = [
+        [f"{fraction:.2f}"]
+        + [f"{sweep.series[p][i]:.2f}" for p in ("rr", "crr", "srr")]
+        for i, fraction in enumerate(sweep.fractions)
+    ]
+    print(format_table(["SM1 fraction", "RR", "CRR", "SRR"], rows))
+    for policy in ("rr", "crr", "srr"):
+        print(f"{policy.upper():4s} slope: {sweep.slope(policy):+.3f}")
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from .analysis import table2_summary
+
+    config = _config(args)
+    rows = table2_summary(config, bits_per_channel=args.bits)
+    print(format_table(
+        ["channel", "error rate", "bandwidth (Mbps)"],
+        [(r.channel, r.error_rate, r.bandwidth_mbps) for r in rows],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU NoC covert channel (MICRO 2021) experiments",
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="small",
+        help="simulated GPU size (default: small)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show the GPU configuration")
+
+    transmit = sub.add_parser("transmit", help="send a message covertly")
+    transmit.add_argument("--message", default="covert")
+    transmit.add_argument("--all-tpcs", action="store_true",
+                          help="use every TPC as a parallel channel")
+
+    for name, needs_ops in (("fig2", True), ("fig5", True), ("fig15", True)):
+        p = sub.add_parser(name, help=f"reproduce {name}")
+        if needs_ops:
+            p.add_argument("--ops", type=int, default=8)
+
+    sub.add_parser("fig6", help="reproduce fig6 (clock survey)")
+
+    fig10 = sub.add_parser("fig10", help="reproduce fig10 (bw vs error)")
+    fig10.add_argument(
+        "--panel", choices=("tpc", "multi-tpc", "gpc", "multi-gpc"),
+        default="tpc",
+    )
+    fig10.add_argument("--iterations", type=int, nargs="+",
+                       default=[1, 2, 3, 4, 5])
+    fig10.add_argument("--bits", type=int, default=12)
+
+    table2 = sub.add_parser("table2", help="measured channel summary")
+    table2.add_argument("--bits", type=int, default=10)
+
+    return parser
+
+
+COMMANDS = {
+    "info": cmd_info,
+    "transmit": cmd_transmit,
+    "fig2": cmd_fig2,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig10": cmd_fig10,
+    "fig15": cmd_fig15,
+    "table2": cmd_table2,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Clock-fuzzing countermeasure (Section 6).
+
+An alternative (weaker) defense the paper discusses: reduce the precision
+of ``clock()`` so the sender and receiver cannot synchronize from it.  The
+helpers here run the full covert channel at increasing fuzz amplitudes to
+show (a) small fuzz barely hurts — the coarse resync tolerates tens of
+cycles of error, and (b) fuzz comparable to the slot length finally breaks
+synchronization, but the paper notes the channel could fall back to
+handshake-based synchronization, so fuzzing does not *remove* the channel
+the way strict arbitration does.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import GpuConfig
+from ..channel.protocol import ChannelParams
+from ..channel.tpc_channel import TpcCovertChannel
+
+
+@dataclass
+class ClockFuzzStudy:
+    """Covert-channel quality vs clock fuzz amplitude."""
+
+    amplitudes: List[int]
+    error_rates: List[float] = field(default_factory=list)
+    bandwidths_mbps: List[float] = field(default_factory=list)
+
+    def breaking_amplitude(self, error_limit: float = 0.25) -> Optional[int]:
+        """Smallest tested fuzz that pushes errors past ``error_limit``."""
+        for amplitude, error in zip(self.amplitudes, self.error_rates):
+            if error > error_limit:
+                return amplitude
+        return None
+
+
+def run_clock_fuzz_study(
+    config: GpuConfig,
+    amplitudes: Sequence[int] = (0, 16, 64, 256, 1024, 4096),
+    params: Optional[ChannelParams] = None,
+    payload_bits: int = 48,
+    seed: int = 31,
+) -> ClockFuzzStudy:
+    """Transmit the same payload at each clock-fuzz amplitude."""
+    rng = random.Random(seed)
+    bits = [rng.randint(0, 1) for _ in range(payload_bits)]
+    study = ClockFuzzStudy(amplitudes=list(amplitudes))
+    for amplitude in amplitudes:
+        fuzz_config = config.replace(clock_fuzz=amplitude)
+        channel = TpcCovertChannel(fuzz_config, params=params)
+        channel.calibrate()
+        result = channel.transmit(bits)
+        study.error_rates.append(result.error_rate)
+        study.bandwidths_mbps.append(result.bandwidth_mbps)
+    return study

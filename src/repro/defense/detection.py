@@ -1,0 +1,339 @@
+"""Contention-anomaly detection (the GPUGuard-style defense).
+
+The paper cites GPUGuard, which "detects malicious behavior based on
+shared resource contention using a decision tree classifier".  This
+module implements that idea against our simulator: a monitor samples
+per-TPC interconnect telemetry in fixed windows, summarizes each window
+into features, and a small decision-stump classifier (trained on labelled
+traces, exactly like GPUGuard's tree) flags covert-channel-like behaviour.
+
+What makes the covert channel detectable is its *shape*, not its volume:
+slot-synchronized on/off bursts on one TPC channel produce a bimodal
+utilization with high switching regularity, while benign kernels are
+either steadily dense (streaming), steadily sparse (compute), or
+irregular (pointer chase).  The features below capture exactly that:
+
+* duty cycle (busy fraction of the window),
+* burstiness (variance-to-mean ratio of per-window flit counts),
+* on/off transition rate,
+* bimodality of per-subwindow utilization.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import GpuConfig
+from ..gpu.benign import (
+    BENIGN_WORKLOADS,
+    benign_footprint,
+    make_benign_kernel,
+)
+from ..gpu.device import GpuDevice
+from ..channel.protocol import ChannelParams
+from ..channel.tpc_channel import TpcCovertChannel
+
+
+# --------------------------------------------------------------------- #
+# Telemetry collection.
+# --------------------------------------------------------------------- #
+@dataclass
+class TpcTelemetry:
+    """Per-subwindow flit counts for one TPC channel."""
+
+    tpc: int
+    subwindow_cycles: int
+    flits: List[int] = field(default_factory=list)
+
+    def features(self) -> Dict[str, float]:
+        """Summarize the trace into classifier features."""
+        counts = self.flits
+        if not counts:
+            return {
+                "duty": 0.0, "burstiness": 0.0,
+                "transitions": 0.0, "bimodality": 0.0,
+            }
+        n = len(counts)
+        mean = sum(counts) / n
+        busy = [1 if c > 0 else 0 for c in counts]
+        duty = sum(busy) / n
+        variance = sum((c - mean) ** 2 for c in counts) / n
+        burstiness = variance / mean if mean > 0 else 0.0
+        transitions = sum(
+            1 for a, b in zip(busy, busy[1:]) if a != b
+        ) / max(1, n - 1)
+        # Bimodality: fraction of subwindows near either extreme of the
+        # observed range (slot-keyed on/off traffic clusters at both).
+        high = max(counts)
+        if high == 0:
+            bimodality = 0.0
+        else:
+            low_frac = sum(1 for c in counts if c <= high * 0.2) / n
+            high_frac = sum(1 for c in counts if c >= high * 0.8) / n
+            bimodality = low_frac * high_frac * 4.0  # 1.0 when 50/50
+        return {
+            "duty": duty,
+            "burstiness": burstiness,
+            "transitions": transitions,
+            "bimodality": bimodality,
+        }
+
+
+class ContentionMonitor:
+    """Samples per-TPC mux flit counters in fixed subwindows."""
+
+    def __init__(
+        self, device: GpuDevice, subwindow_cycles: int = 256
+    ) -> None:
+        self.device = device
+        self.subwindow_cycles = subwindow_cycles
+        self.telemetry: Dict[int, TpcTelemetry] = {
+            tpc: TpcTelemetry(tpc, subwindow_cycles)
+            for tpc in range(device.config.num_tpcs)
+        }
+        self._last: Dict[int, int] = {}
+
+    def _counter(self, tpc: int) -> int:
+        return self.device.stats.counters.get(f"tpc{tpc}.mux.flits", 0)
+
+    def run(self, total_cycles: int) -> None:
+        """Step the device, sampling every subwindow."""
+        steps = max(1, total_cycles // self.subwindow_cycles)
+        for tpc in self.telemetry:
+            self._last[tpc] = self._counter(tpc)
+        for _ in range(steps):
+            self.device.engine.step(self.subwindow_cycles)
+            for tpc, trace in self.telemetry.items():
+                now = self._counter(tpc)
+                trace.flits.append(now - self._last[tpc])
+                self._last[tpc] = now
+
+
+# --------------------------------------------------------------------- #
+# Classifier (decision stumps, GPUGuard-style tree of depth 2).
+# --------------------------------------------------------------------- #
+@dataclass
+class DetectorModel:
+    """Thresholds learned from labelled traces."""
+
+    #: feature -> (threshold, direction) where direction=+1 flags values
+    #: above the threshold.
+    stumps: Dict[str, Tuple[float, int]] = field(default_factory=dict)
+    #: Votes needed to flag a window as covert.
+    votes_needed: int = 2
+
+    def classify(self, features: Dict[str, float]) -> bool:
+        votes = 0
+        for name, (threshold, direction) in self.stumps.items():
+            value = features.get(name, 0.0)
+            if direction > 0 and value > threshold:
+                votes += 1
+            elif direction < 0 and value < threshold:
+                votes += 1
+        return votes >= self.votes_needed
+
+
+def _best_stump(
+    positives: List[float], negatives: List[float]
+) -> Tuple[float, int, float]:
+    """Threshold + direction maximizing accuracy for one feature."""
+    values = sorted(set(positives + negatives))
+    best = (0.0, 1, 0.0)
+    total = len(positives) + len(negatives)
+    for index in range(len(values) - 1):
+        threshold = (values[index] + values[index + 1]) / 2.0
+        for direction in (1, -1):
+            if direction > 0:
+                correct = sum(1 for v in positives if v > threshold) + sum(
+                    1 for v in negatives if v <= threshold
+                )
+            else:
+                correct = sum(1 for v in positives if v < threshold) + sum(
+                    1 for v in negatives if v >= threshold
+                )
+            accuracy = correct / total
+            if accuracy > best[2]:
+                best = (threshold, direction, accuracy)
+    return best
+
+
+def train_detector(
+    covert_traces: Sequence[Dict[str, float]],
+    benign_traces: Sequence[Dict[str, float]],
+    max_stumps: int = 3,
+) -> DetectorModel:
+    """Fit decision stumps on labelled feature dicts."""
+    if not covert_traces or not benign_traces:
+        raise ValueError("need both covert and benign training traces")
+    names = sorted(covert_traces[0])
+    scored = []
+    for name in names:
+        threshold, direction, accuracy = _best_stump(
+            [t[name] for t in covert_traces],
+            [t[name] for t in benign_traces],
+        )
+        scored.append((accuracy, name, threshold, direction))
+    scored.sort(reverse=True)
+    chosen = scored[:max_stumps]
+    model = DetectorModel(
+        stumps={
+            name: (threshold, direction)
+            for _acc, name, threshold, direction in chosen
+        },
+        votes_needed=max(1, (len(chosen) + 1) // 2),
+    )
+    return model
+
+
+# --------------------------------------------------------------------- #
+# Trace generation on the simulator.
+# --------------------------------------------------------------------- #
+def covert_channel_trace(
+    config: GpuConfig,
+    observe_cycles: int = 24_000,
+    payload_bits: int = 12,
+    seed: int = 17,
+    subwindow_cycles: int = 256,
+) -> Dict[str, float]:
+    """Features of the monitored TPC while the covert channel runs."""
+    rng = random.Random(seed)
+    bits = [rng.randint(0, 1) for _ in range(payload_bits)]
+    channel = TpcCovertChannel(
+        config,
+        params=ChannelParams(threshold=1.0, sync_period=0),
+        seed_salt=seed,
+    )
+    per_channel = [bits]
+    # Build the run manually so the monitor can sample mid-flight.
+    senders, receivers = channel._role_blocks()
+    device = GpuDevice(config, seed_salt=seed)
+    monitor = ContentionMonitor(device, subwindow_cycles)
+    # Reuse the channel's kernel construction through _run's internals is
+    # private; assemble equivalently via transmit on a device we control:
+    from ..channel.protocol import (
+        receiver_program,
+        region_bytes,
+        sender_program,
+    )
+    from ..gpu.kernel import Kernel
+
+    params = channel.params
+    line = config.l2_line_bytes
+    region = region_bytes(params, line)
+    sender_kernel = Kernel(
+        sender_program,
+        num_blocks=config.num_tpcs,
+        warps_per_block=params.sender_warps,
+        args={
+            "params": params,
+            "channel_bits": {block: bits for block in senders},
+            "base_for": {block: 0 for block in senders},
+            "line_bytes": line,
+            "levels": None,
+            "channel_of": dict(senders),
+        },
+        name="trojan",
+    )
+    receiver_kernel = Kernel(
+        receiver_program,
+        num_blocks=config.num_tpcs,
+        warps_per_block=1,
+        args={
+            "params": params,
+            "num_symbols": {block: len(bits) for block in receivers},
+            "base_for": {
+                block: params.sender_warps * region for block in receivers
+            },
+            "line_bytes": line,
+            "measurements": {},
+            "channel_of": dict(receivers),
+        },
+        name="spy",
+    )
+    device.preload_region(0, (params.sender_warps + 1) * region)
+    device.launch(sender_kernel)
+    device.launch(receiver_kernel)
+    monitor.run(observe_cycles)
+    return monitor.telemetry[channel.channel_tpcs[0]].features()
+
+
+def benign_trace(
+    config: GpuConfig,
+    workload: str,
+    observe_cycles: int = 24_000,
+    seed: int = 23,
+    subwindow_cycles: int = 256,
+) -> Dict[str, float]:
+    """Features of TPC0 while a benign workload runs on it."""
+    device = GpuDevice(config, seed_salt=seed)
+    monitor = ContentionMonitor(device, subwindow_cycles)
+    active = set(config.tpc_sms(0))
+    kernel = make_benign_kernel(
+        config, workload, ops=400, active_sms=active
+    )
+    for sm in active:
+        device.preload_region(sm * (1 << 16), benign_footprint(config))
+    device.launch(kernel)
+    monitor.run(observe_cycles)
+    return monitor.telemetry[0].features()
+
+
+@dataclass
+class DetectionReport:
+    """Outcome of the end-to-end detection study."""
+
+    model: DetectorModel
+    covert_detected: int
+    covert_total: int
+    false_positives: int
+    benign_total: int
+
+    @property
+    def detection_rate(self) -> float:
+        return self.covert_detected / max(1, self.covert_total)
+
+    @property
+    def false_positive_rate(self) -> float:
+        return self.false_positives / max(1, self.benign_total)
+
+
+def run_detection_study(
+    config: GpuConfig,
+    train_seeds: Sequence[int] = (1, 2, 3),
+    test_seeds: Sequence[int] = (11, 12, 13, 14),
+    workloads: Optional[Sequence[str]] = None,
+) -> DetectionReport:
+    """Train on some traces, evaluate on held-out traces."""
+    workloads = list(workloads or sorted(BENIGN_WORKLOADS))
+    covert_train = [
+        covert_channel_trace(config, seed=s) for s in train_seeds
+    ]
+    benign_train = [
+        benign_trace(config, w, seed=s)
+        for s in train_seeds
+        for w in workloads
+    ]
+    model = train_detector(covert_train, benign_train)
+    covert_hits = sum(
+        1
+        for s in test_seeds
+        if model.classify(covert_channel_trace(config, seed=s))
+    )
+    benign_tests = [
+        benign_trace(config, w, seed=s)
+        for s in test_seeds
+        for w in workloads
+    ]
+    false_positives = sum(
+        1 for features in benign_tests if model.classify(features)
+    )
+    return DetectionReport(
+        model=model,
+        covert_detected=covert_hits,
+        covert_total=len(test_seeds),
+        false_positives=false_positives,
+        benign_total=len(benign_tests),
+    )

@@ -1,0 +1,128 @@
+"""Spatial/temporal partitioning defenses (Section 6 discussion).
+
+Two scheduling-level countermeasures the paper discusses alongside secure
+arbitration:
+
+* **Temporal partitioning** (GPUGuard-style): never co-schedule blocks of
+  different kernels on the same TPC (or GPC).  This removes the shared
+  mux and with it the channel, but halves the SMs available to concurrent
+  kernels.
+* **MIG-style GPC isolation**: each tenant instance owns whole GPCs with
+  a dedicated memory path.  Cross-instance channels disappear, but — as
+  the paper stresses — MPS *within* an instance still permits the attack,
+  so the channel survives intra-instance (Footnote 1, Section 5).
+
+Both are modelled as placement constraints checked/enforced against the
+reverse-engineered topology, plus helpers that measure their utilization
+cost and verify their effect on the covert channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..config import GpuConfig
+from ..channel.base import block_to_tpc_map
+
+
+@dataclass(frozen=True)
+class MigInstance:
+    """A MIG-style instance: a set of GPCs owned by one tenant."""
+
+    instance_id: int
+    gpcs: Tuple[int, ...]
+
+    def tpcs(self, config: GpuConfig) -> List[int]:
+        members = config.gpc_members()
+        return [tpc for gpc in self.gpcs for tpc in members[gpc]]
+
+
+def make_mig_partition(
+    config: GpuConfig, gpcs_per_instance: int = 1
+) -> List[MigInstance]:
+    """Split the GPU into MIG instances of ``gpcs_per_instance`` GPCs."""
+    if not 1 <= gpcs_per_instance <= config.num_gpcs:
+        raise ValueError("bad instance size")
+    instances = []
+    for index, start in enumerate(
+        range(0, config.num_gpcs, gpcs_per_instance)
+    ):
+        gpcs = tuple(
+            range(start, min(start + gpcs_per_instance, config.num_gpcs))
+        )
+        instances.append(MigInstance(instance_id=index, gpcs=gpcs))
+    return instances
+
+
+def cross_instance_channel_possible(
+    config: GpuConfig,
+    instances: Sequence[MigInstance],
+    sender_instance: int,
+    receiver_instance: int,
+) -> bool:
+    """Whether a TPC/GPC channel can connect two instances.
+
+    The interconnect channels require sharing a TPC (or GPC); disjoint
+    instances share neither, so cross-instance channels are impossible —
+    while ``sender_instance == receiver_instance`` (MPS inside one MIG
+    instance) remains fully attackable.
+    """
+    sender_gpcs = set(instances[sender_instance].gpcs)
+    receiver_gpcs = set(instances[receiver_instance].gpcs)
+    return bool(sender_gpcs & receiver_gpcs)
+
+
+@dataclass
+class TemporalPartitionPlan:
+    """A co-scheduling plan that never shares a TPC between kernels."""
+
+    #: kernel label -> TPCs it may occupy.
+    assignments: Dict[str, Set[int]]
+
+    def shares_tpc(self) -> bool:
+        seen: Set[int] = set()
+        for tpcs in self.assignments.values():
+            if seen & tpcs:
+                return True
+            seen |= tpcs
+        return False
+
+
+def temporal_partition(
+    config: GpuConfig, kernels: Sequence[str], level: str = "tpc"
+) -> TemporalPartitionPlan:
+    """Partition TPCs (or whole GPCs) between concurrent kernels.
+
+    Returns a plan in which no two kernels share the unit of isolation;
+    utilization cost: each kernel gets ``1/len(kernels)`` of the machine
+    and, at TPC level, only one SM per TPC may be used by any *other*
+    tenant epoch — the paper's noted downside.
+    """
+    if level not in ("tpc", "gpc"):
+        raise ValueError("level must be 'tpc' or 'gpc'")
+    assignments: Dict[str, Set[int]] = {label: set() for label in kernels}
+    if level == "tpc":
+        units: List[Set[int]] = [{tpc} for tpc in range(config.num_tpcs)]
+    else:
+        units = [set(tpcs) for tpcs in config.gpc_members().values()]
+    for index, unit in enumerate(units):
+        label = kernels[index % len(kernels)]
+        assignments[label] |= unit
+    return TemporalPartitionPlan(assignments=assignments)
+
+
+def partition_utilization(
+    config: GpuConfig, plan: TemporalPartitionPlan, kernel: str
+) -> float:
+    """Fraction of the GPU's SMs available to ``kernel`` under the plan."""
+    tpcs = plan.assignments[kernel]
+    return len(tpcs) * config.sms_per_tpc / config.num_sms
+
+
+def colocation_blocked(
+    config: GpuConfig, plan: TemporalPartitionPlan,
+    sender: str, receiver: str,
+) -> bool:
+    """Whether the plan prevents a sender/receiver TPC channel."""
+    return not (plan.assignments[sender] & plan.assignments[receiver])

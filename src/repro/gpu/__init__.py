@@ -1,0 +1,55 @@
+"""GPU model: SMs, caches, DRAM, scheduler, streams, assembled device."""
+
+from .caches import L1Cache, SetAssociativeCache
+from .coalescer import (
+    coalesce,
+    lane_addresses_coalesced,
+    lane_addresses_partial,
+    lane_addresses_uncoalesced,
+)
+from .benign import BENIGN_WORKLOADS, benign_footprint, make_benign_kernel
+from .device import GpuDevice
+from .dram import MemoryController
+from .kernel import Kernel, Stream, ThreadBlock
+from .l2slice import L2Slice
+from .scheduler import ThreadBlockScheduler, dispatch_order
+from .sm import StreamingMultiprocessor
+from .warp import (
+    MemOp,
+    ReadClock,
+    WaitClockMask,
+    WaitCycles,
+    WaitUntilClock,
+    WarpContext,
+    READ,
+    WRITE,
+)
+
+__all__ = [
+    "BENIGN_WORKLOADS",
+    "benign_footprint",
+    "make_benign_kernel",
+    "L1Cache",
+    "SetAssociativeCache",
+    "coalesce",
+    "lane_addresses_coalesced",
+    "lane_addresses_partial",
+    "lane_addresses_uncoalesced",
+    "GpuDevice",
+    "MemoryController",
+    "Kernel",
+    "Stream",
+    "ThreadBlock",
+    "L2Slice",
+    "ThreadBlockScheduler",
+    "dispatch_order",
+    "StreamingMultiprocessor",
+    "MemOp",
+    "ReadClock",
+    "WaitClockMask",
+    "WaitCycles",
+    "WaitUntilClock",
+    "WarpContext",
+    "READ",
+    "WRITE",
+]

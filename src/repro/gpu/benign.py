@@ -1,0 +1,177 @@
+"""A small suite of benign GPU workload behaviours.
+
+Used by the detection defense (false-positive evaluation) and the
+SRR-cost study: countermeasures must be judged against what normal
+kernels do, not only against the attack.  Each workload is a warp-program
+factory with a distinctive memory-access signature:
+
+* ``streaming``      — dense sequential reads (BLAS-like sweep),
+* ``strided``        — large-stride reads (column-major access),
+* ``pointer_chase``  — serial dependent reads (graph/linked-list),
+* ``compute``        — long ALU phases with rare memory ops,
+* ``bursty``         — alternating burst/idle phases (reduction trees),
+* ``mixed_rw``       — interleaved read-modify-write traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from ..config import GpuConfig
+from .coalescer import lane_addresses_coalesced, lane_addresses_uncoalesced
+from .kernel import Kernel
+from .warp import MemOp, WaitCycles, WarpContext, WarpProgram, READ, WRITE
+
+
+def _empty_program() -> WarpProgram:
+    """A warp program that exits immediately (inactive-SM gate)."""
+    return
+    yield  # pragma: no cover - makes this function a generator
+
+
+def _base_for(context: WarpContext) -> int:
+    args = context.args
+    return args.get("base", 0) + context.sm_id * args.get("region", 1 << 16)
+
+
+def streaming_workload(context: WarpContext) -> WarpProgram:
+    """Dense sequential reads: high bandwidth, regular pattern."""
+    args = context.args
+    base = _base_for(context)
+    line = args["line_bytes"]
+    for op in range(args["ops"]):
+        addresses = lane_addresses_uncoalesced(
+            base + (op % 8) * 32 * line, line
+        )
+        yield MemOp(READ, addresses)
+
+
+def strided_workload(context: WarpContext) -> WarpProgram:
+    """Column-major style access: every lane strides multiple lines."""
+    args = context.args
+    base = _base_for(context)
+    line = args["line_bytes"]
+    for op in range(args["ops"]):
+        addresses = lane_addresses_uncoalesced(
+            base + (op % 4) * 32 * 2 * line, line, stride_lines=2
+        )
+        yield MemOp(READ, addresses)
+
+
+def pointer_chase_workload(context: WarpContext) -> WarpProgram:
+    """Serial dependent loads: one line at a time, latency bound."""
+    args = context.args
+    base = _base_for(context)
+    line = args["line_bytes"]
+    rng = random.Random(args.get("seed", 11) ^ context.sm_id)
+    footprint = args.get("footprint_lines", 64)
+    for op in range(args["ops"]):
+        offset = rng.randrange(footprint) * line
+        yield MemOp(READ, [base + offset])
+
+
+def compute_workload(context: WarpContext) -> WarpProgram:
+    """ALU-heavy: long busy phases, occasional coalesced reads."""
+    args = context.args
+    base = _base_for(context)
+    line = args["line_bytes"]
+    for op in range(args["ops"]):
+        yield WaitCycles(args.get("alu_cycles", 400))
+        yield MemOp(READ, lane_addresses_coalesced(base, line))
+
+
+def bursty_workload(context: WarpContext) -> WarpProgram:
+    """Alternating burst/idle phases (reduction-tree shape)."""
+    args = context.args
+    base = _base_for(context)
+    line = args["line_bytes"]
+    for phase in range(args["ops"] // 4 + 1):
+        for op in range(4):
+            addresses = lane_addresses_uncoalesced(
+                base + (op % 4) * 32 * line, line
+            )
+            yield MemOp(READ, addresses)
+        yield WaitCycles(args.get("idle_cycles", 600))
+
+
+def write_stream_workload(context: WarpContext) -> WarpProgram:
+    """Posted-write streaming (memcpy/initialization): bandwidth bound.
+
+    The injection-channel-saturating case — the workload class that pays
+    the full ~2x SRR tax (Section 6's memory-intensive bound).
+    """
+    args = context.args
+    base = _base_for(context)
+    line = args["line_bytes"]
+    for op in range(args["ops"]):
+        addresses = lane_addresses_uncoalesced(
+            base + (op % 8) * 32 * line, line
+        )
+        yield MemOp(WRITE, addresses, wait_for_completion=False)
+
+
+def mixed_rw_workload(context: WarpContext) -> WarpProgram:
+    """Read-modify-write traffic: reads and posted writes interleave."""
+    args = context.args
+    base = _base_for(context)
+    line = args["line_bytes"]
+    for op in range(args["ops"]):
+        addresses = lane_addresses_uncoalesced(
+            base + (op % 4) * 32 * line, line
+        )
+        if op % 2:
+            yield MemOp(WRITE, addresses, wait_for_completion=False)
+        else:
+            yield MemOp(READ, addresses)
+
+
+#: Registry of benign workloads by name.
+BENIGN_WORKLOADS: Dict[str, Callable[[WarpContext], WarpProgram]] = {
+    "streaming": streaming_workload,
+    "strided": strided_workload,
+    "pointer_chase": pointer_chase_workload,
+    "compute": compute_workload,
+    "bursty": bursty_workload,
+    "write_stream": write_stream_workload,
+    "mixed_rw": mixed_rw_workload,
+}
+
+
+def make_benign_kernel(
+    config: GpuConfig,
+    name: str,
+    ops: int = 24,
+    active_sms: Optional[set] = None,
+    base: int = 0,
+    num_blocks: Optional[int] = None,
+) -> Kernel:
+    """Instantiate a benign workload kernel by registry name."""
+    try:
+        factory = BENIGN_WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; have {sorted(BENIGN_WORKLOADS)}"
+        ) from None
+
+    def gated(context: WarpContext) -> WarpProgram:
+        if active_sms is not None and context.sm_id not in active_sms:
+            return _empty_program()
+        return factory(context)
+
+    return Kernel(
+        gated,
+        num_blocks=num_blocks or config.num_sms,
+        args={
+            "ops": ops,
+            "base": base,
+            "line_bytes": config.l2_line_bytes,
+            "region": 1 << 16,
+        },
+        name=f"benign-{name}",
+    )
+
+
+def benign_footprint(config: GpuConfig) -> int:
+    """Bytes to preload per SM region for any benign workload."""
+    return 16 * 32 * config.l2_line_bytes

@@ -1,0 +1,160 @@
+"""Set-associative cache models for the per-SM L1 and the banked L2.
+
+Both caches are tag-only (no data payloads are simulated — the covert
+channel is a *timing* channel) with true-LRU replacement.  The L1 supports
+the ``-dlcm=cg`` bypass mode the paper compiles with: when bypassed, every
+access goes straight to the interconnect, which raises covert-channel
+bandwidth ~20% (Section 4.2, footnote 6).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+
+class SetAssociativeCache:
+    """Tag store with LRU or seeded-random replacement.
+
+    GPU L2 caches use pseudo-random (not true-LRU) replacement; the
+    distinction matters under capacity pressure — true LRU protects a hot
+    working set against a streaming interferer indefinitely, random
+    replacement displaces it probabilistically (the mechanism behind the
+    paper's third-kernel noise discussion, Section 5).
+
+    Parameters
+    ----------
+    size_bytes / line_bytes / ways:
+        Geometry; ``size_bytes`` must be a multiple of ``line_bytes*ways``.
+    replacement:
+        ``"lru"`` or ``"random"`` (seeded, deterministic).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        line_bytes: int,
+        ways: int,
+        replacement: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        num_lines = size_bytes // line_bytes
+        if num_lines == 0 or num_lines % ways:
+            raise ValueError(
+                f"invalid cache geometry: {size_bytes}B / {line_bytes}B "
+                f"lines / {ways} ways"
+            )
+        if replacement not in ("lru", "random"):
+            raise ValueError(f"unknown replacement {replacement!r}")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = num_lines // ways
+        self.replacement = replacement
+        # Each set is an OrderedDict tag -> True, most recent last.
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        import random as _random
+
+        self._rng = _random.Random((seed << 8) ^ 0xCACE)
+
+    def _evict(self, entries: OrderedDict) -> None:
+        if self.replacement == "lru":
+            entries.popitem(last=False)
+        else:
+            victim = self._rng.randrange(len(entries))
+            key = next(
+                k for i, k in enumerate(entries) if i == victim
+            )
+            del entries[key]
+
+    def _locate(self, address: int):
+        line = address // self.line_bytes
+        return self._sets[line % self.num_sets], line
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating LRU state or counters."""
+        entries, tag = self._locate(address)
+        return tag in entries
+
+    def access(self, address: int, allocate: bool = True) -> bool:
+        """Look up ``address``; return True on hit.
+
+        On a miss with ``allocate``, victimize the LRU line and install the
+        new one.  LRU order is updated on hits.
+        """
+        entries, tag = self._locate(address)
+        if tag in entries:
+            entries.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if allocate:
+            if len(entries) >= self.ways:
+                self._evict(entries)
+            entries[tag] = True
+        return False
+
+    def install(self, address: int) -> None:
+        """Install a line without counting an access (e.g. preloading)."""
+        entries, tag = self._locate(address)
+        if tag in entries:
+            entries.move_to_end(tag)
+            return
+        if len(entries) >= self.ways:
+            self._evict(entries)
+        entries[tag] = True
+
+    def invalidate_all(self) -> None:
+        for entries in self._sets:
+            entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+
+class L1Cache:
+    """Per-SM L1 with a global bypass switch (``-dlcm=cg``).
+
+    Reads hit in ``hit_latency`` cycles when enabled; writes are
+    write-through / no-allocate (GPU-style) and always reach the NoC.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        line_bytes: int,
+        ways: int,
+        hit_latency: int,
+        enabled: bool = True,
+    ) -> None:
+        self.cache = SetAssociativeCache(size_bytes, line_bytes, ways)
+        self.hit_latency = hit_latency
+        self.enabled = enabled
+
+    def lookup_read(self, address: int) -> bool:
+        """True if the read hits (and therefore skips the interconnect)."""
+        if not self.enabled:
+            return False
+        return self.cache.access(address, allocate=False)
+
+    def fill(self, address: int) -> None:
+        """Install the line when a read reply returns (if enabled)."""
+        if self.enabled:
+            self.cache.install(address)
+
+    def note_write(self, address: int) -> None:
+        """Write-through/no-allocate: invalidate a stale copy if present."""
+        if self.enabled and self.cache.probe(address):
+            # Update-in-place modelled as a refresh of the line.
+            self.cache.install(address)

@@ -1,0 +1,347 @@
+"""The assembled GPU device.
+
+:class:`GpuDevice` wires every component into one simulatable system:
+
+* per-SM injection queues feeding 2:1 **TPC muxes**,
+* per-GPC **GPC muxes** with bandwidth speedup,
+* a request **crossbar** routing GPC channels to the 48 L2 slices,
+* banked **L2 slices** backed by HBM2-timing memory controllers,
+* a reply **crossbar** plus per-GPC reply distributors back to the SMs,
+* a **thread-block scheduler** with the reverse-engineered placement
+  policy, and per-SM **clock registers** with the calibrated skew model.
+
+It is the public entry point for every experiment::
+
+    device = GpuDevice(VOLTA_V100)
+    stream = device.create_stream()
+    device.launch(kernel, stream)
+    device.run()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..config import GpuConfig, VOLTA_V100
+from ..noc.arbiter import make_policy
+from ..noc.buffer import PacketQueue
+from ..noc.crossbar import Crossbar
+from ..noc.mux import Mux
+from ..noc.packet import Packet
+from ..sim.clock import ClockSystem
+from ..sim.engine import Component, Engine
+from ..sim.stats import StatsRegistry
+from .dram import MemoryController
+from .kernel import Kernel, Stream
+from .l2slice import L2Slice
+from .reply_path import GpcReplyDistributor
+from .scheduler import ThreadBlockScheduler
+from .sm import StreamingMultiprocessor
+
+
+class GpuDevice:
+    """A complete simulated GPU built from a :class:`GpuConfig`."""
+
+    def __init__(
+        self,
+        config: GpuConfig = VOLTA_V100,
+        l1_enabled: bool = False,
+        seed_salt: int = 0,
+    ) -> None:
+        self.config = config
+        self.stats = StatsRegistry()
+        self.engine = Engine()
+        self._seed_salt = seed_salt
+        self.clocks = ClockSystem(config, self.engine, seed_salt=seed_salt)
+        self._build(l1_enabled)
+
+    # ------------------------------------------------------------------ #
+    # Construction.
+    # ------------------------------------------------------------------ #
+    def _build(self, l1_enabled: bool) -> None:
+        config = self.config
+        engine = self.engine
+        depth = config.buffer_depth
+        # Queue capacities in flits: deep enough for a handful of the
+        # largest packets at every hop.
+        cap = depth * max(
+            config.write_request_flits, config.read_reply_flits
+        )
+
+        # -- per-SM injection queues + SMs ------------------------------ #
+        self.inject_queues: List[PacketQueue] = [
+            PacketQueue(f"sm{sm}.inject", cap) for sm in range(config.num_sms)
+        ]
+        self.sms: List[StreamingMultiprocessor] = [
+            StreamingMultiprocessor(
+                sm,
+                config,
+                self.inject_queues[sm],
+                self.clocks.read,
+                stats=self.stats,
+                l1_enabled=l1_enabled,
+                seed_salt=self._seed_salt,
+            )
+            for sm in range(config.num_sms)
+        ]
+
+        # -- TPC muxes (the covert channel's shared resource) ----------- #
+        self.tpc_queues: List[PacketQueue] = [
+            PacketQueue(f"tpc{t}.chan", cap) for t in range(config.num_tpcs)
+        ]
+        self.tpc_muxes: List[Mux] = []
+        for tpc in range(config.num_tpcs):
+            sm_ids = config.tpc_sms(tpc)
+            self.tpc_muxes.append(
+                Mux(
+                    f"tpc{tpc}.mux",
+                    [self.inject_queues[sm] for sm in sm_ids],
+                    self.tpc_queues[tpc],
+                    width=config.tpc_channel_width,
+                    policy=make_policy(
+                        config.arbitration, len(sm_ids), seed=config.seed + tpc
+                    ),
+                    stats=self.stats,
+                )
+            )
+
+        # -- GPC muxes --------------------------------------------------- #
+        members = config.gpc_members()
+        self.gpc_queues: List[PacketQueue] = [
+            PacketQueue(f"gpc{g}.chan", cap * 2) for g in range(config.num_gpcs)
+        ]
+        self.gpc_muxes: List[Mux] = []
+        for gpc in range(config.num_gpcs):
+            tpcs = members[gpc]
+            self.gpc_muxes.append(
+                Mux(
+                    f"gpc{gpc}.mux",
+                    [self.tpc_queues[tpc] for tpc in tpcs],
+                    self.gpc_queues[gpc],
+                    width=config.gpc_channel_width,
+                    policy=make_policy(
+                        config.arbitration, len(tpcs), seed=config.seed + 100 + gpc
+                    ),
+                    stats=self.stats,
+                )
+            )
+
+        # -- request crossbar → L2 slices -------------------------------- #
+        self.l2_request_queues: List[PacketQueue] = [
+            PacketQueue(f"l2s{s}.req", cap) for s in range(config.num_l2_slices)
+        ]
+        self.request_xbar = Crossbar(
+            "xbar.req",
+            self.gpc_queues,
+            self.l2_request_queues,
+            route=lambda packet: packet.slice_id,
+            width=config.xbar_width,
+            policy_name="rr",
+            seed=config.seed,
+            stats=self.stats,
+        )
+
+        # -- memory controllers ------------------------------------------ #
+        self.controllers: List[MemoryController] = [
+            MemoryController(
+                f"mc{mc}",
+                config.dram,
+                on_complete=self._dram_complete,
+                stats=self.stats,
+            )
+            for mc in range(config.num_memory_controllers)
+        ]
+
+        # -- L2 slices with per-GPC reply VOQs ---------------------------- #
+        # Each slice keeps one reply queue per destination GPC (virtual
+        # output queueing) so a congested GPC reply port never blocks
+        # replies bound for other GPCs.
+        tpc_to_gpc = config.tpc_to_gpc_map()
+
+        def reply_route(packet: Packet) -> int:
+            return tpc_to_gpc[packet.src_sm // config.sms_per_tpc]
+
+        if config.reply_voq:
+            self.l2_reply_voqs: List[List[PacketQueue]] = [
+                [
+                    PacketQueue(f"l2s{s}.reply.g{g}", cap * 2)
+                    for g in range(config.num_gpcs)
+                ]
+                for s in range(config.num_l2_slices)
+            ]
+            slice_reply_route = reply_route
+        else:
+            # Single-FIFO ablation: one shared reply queue per slice —
+            # replies to all GPCs interleave and head-of-line block.
+            self.l2_reply_voqs = [
+                [PacketQueue(f"l2s{s}.reply", cap * 2)]
+                for s in range(config.num_l2_slices)
+            ]
+
+            def slice_reply_route(packet: Packet) -> int:
+                return 0
+        slices_per_mc = max(1, config.num_l2_slices // len(self.controllers))
+        self.l2_slices: List[L2Slice] = [
+            L2Slice(
+                s,
+                config,
+                self.l2_request_queues[s],
+                self.l2_reply_voqs[s],
+                reply_route=slice_reply_route,
+                controller=self.controllers[
+                    min(s // slices_per_mc, len(self.controllers) - 1)
+                ],
+                stats=self.stats,
+                write_done=self._deliver_reply,
+            )
+            for s in range(config.num_l2_slices)
+        ]
+
+        # -- per-GPC reply channels (crossbar output side) → SMs ---------- #
+        self.gpc_reply_queues: List[PacketQueue] = [
+            PacketQueue(f"gpc{g}.reply", cap * 2)
+            for g in range(config.num_gpcs)
+        ]
+        if config.reply_voq:
+            self.reply_muxes: List[Component] = [
+                Mux(
+                    f"gpc{g}.replymux",
+                    [
+                        self.l2_reply_voqs[s][g]
+                        for s in range(config.num_l2_slices)
+                    ],
+                    self.gpc_reply_queues[g],
+                    width=config.gpc_reply_width,
+                    policy=make_policy(
+                        "rr", config.num_l2_slices, seed=config.seed + 300 + g
+                    ),
+                    stats=self.stats,
+                )
+                for g in range(config.num_gpcs)
+            ]
+        else:
+            # HOL ablation: a crossbar whose input is each slice's single
+            # reply FIFO; a head bound for a congested GPC blocks the
+            # replies queued behind it.
+            self.reply_muxes = [
+                Crossbar(
+                    "xbar.reply",
+                    [voqs[0] for voqs in self.l2_reply_voqs],
+                    self.gpc_reply_queues,
+                    route=reply_route,
+                    width=config.gpc_reply_width,
+                    input_width=config.xbar_width,
+                    seed=config.seed + 300,
+                    stats=self.stats,
+                )
+            ]
+        self.reply_distributors: List[GpcReplyDistributor] = [
+            GpcReplyDistributor(
+                gpc,
+                config,
+                self.gpc_reply_queues[gpc],
+                members[gpc],
+                deliver=self._deliver_reply,
+                stats=self.stats,
+            )
+            for gpc in range(config.num_gpcs)
+        ]
+
+        # -- block scheduler ---------------------------------------------- #
+        self.scheduler = ThreadBlockScheduler(config, self.sms)
+
+        # Registration order == pipeline order (request downstream first,
+        # then memory, then the reply path, then the scheduler).
+        engine.register(self.scheduler)
+        engine.register_all(self.sms)
+        engine.register_all(self.tpc_muxes)
+        engine.register_all(self.gpc_muxes)
+        engine.register(self.request_xbar)
+        engine.register_all(self.l2_slices)
+        engine.register_all(self.controllers)
+        engine.register_all(self.reply_muxes)
+        engine.register_all(self.reply_distributors)
+
+    # ------------------------------------------------------------------ #
+    # Internal plumbing callbacks.
+    # ------------------------------------------------------------------ #
+    def _dram_complete(self, token, cycle: int) -> None:
+        l2_slice, packet = token
+        l2_slice.dram_complete(packet, cycle)
+
+    def _deliver_reply(self, packet: Packet, cycle: int) -> None:
+        self.sms[packet.src_sm].deliver_reply(packet, cycle)
+
+    # ------------------------------------------------------------------ #
+    # Public API.
+    # ------------------------------------------------------------------ #
+    def create_stream(self, name: str = "stream") -> Stream:
+        return self.scheduler.add_stream(Stream(name))
+
+    def launch(self, kernel: Kernel, stream: Optional[Stream] = None) -> Kernel:
+        """Enqueue ``kernel`` on ``stream`` (a fresh stream if None)."""
+        if stream is None:
+            stream = self.create_stream(f"stream.{kernel.name}")
+        stream.enqueue(kernel)
+        return kernel
+
+    def run(self, max_cycles: int = 20_000_000, check_every: int = 32) -> int:
+        """Step until every stream has drained; returns the final cycle."""
+        return self.engine.run_until(
+            lambda: self.scheduler.all_idle,
+            max_cycles=max_cycles,
+            check_every=check_every,
+        )
+
+    def run_kernels(
+        self, kernels: Iterable[Kernel], max_cycles: int = 20_000_000
+    ) -> Dict[str, int]:
+        """Launch each kernel on its own stream, run, return wall cycles.
+
+        Returns a map kernel name -> completion cycle observed at the
+        polling granularity (the coarse per-kernel 'execution time' the
+        reverse-engineering experiments compare).
+        """
+        kernels = list(kernels)
+        start = self.engine.cycle
+        for kernel in kernels:
+            self.launch(kernel)
+        finish: Dict[str, int] = {}
+        remaining = set(kernel.name for kernel in kernels)
+
+        def poll() -> bool:
+            for kernel in kernels:
+                if kernel.name in remaining and kernel.done:
+                    finish[kernel.name] = self.engine.cycle - start
+                    remaining.discard(kernel.name)
+            return not remaining
+
+        self.engine.run_until(poll, max_cycles=max_cycles, check_every=16)
+        return finish
+
+    # -- memory preparation -------------------------------------------- #
+    def preload_l2(self, addresses: Iterable[int]) -> None:
+        """Install lines in their L2 slices so accesses always hit.
+
+        The covert channel preloads its probe arrays (Section 4.2: "all
+        memory requests access data that is loaded into the L2 cache").
+        """
+        config = self.config
+        for address in addresses:
+            line = (address // config.l2_line_bytes) * config.l2_line_bytes
+            self.l2_slices[config.address_to_slice(address)].preload(line)
+
+    def preload_region(self, base: int, size_bytes: int) -> None:
+        """Preload every line in ``[base, base+size_bytes)``."""
+        line = self.config.l2_line_bytes
+        start = (base // line) * line
+        self.preload_l2(range(start, base + size_bytes, line))
+
+    # -- introspection --------------------------------------------------- #
+    def smid_of_block(self, kernel: Kernel, block_id: int) -> Optional[int]:
+        """What ``%smid`` returned for a dispatched block."""
+        return kernel.blocks[block_id].sm_id
+
+    @property
+    def cycle(self) -> int:
+        return self.engine.cycle

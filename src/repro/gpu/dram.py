@@ -1,0 +1,104 @@
+"""HBM2-style memory controllers behind the L2 slices.
+
+Each controller owns a fixed group of L2 slices (Table 1: 48 slices over
+24 MCs) and serves their miss traffic with a banked open-row timing model
+built from the :class:`~repro.config.DramTiming` parameters.  The model is
+deliberately coarse — the covert channel operates out of the L2, and DRAM
+matters only as the *noise source* the paper discusses in Section 5 (a
+third kernel thrashing the L2 pushes channel traffic to main memory and
+destroys the channel).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..config import DramTiming
+from ..sim.engine import Component
+from ..sim.stats import StatsRegistry
+from .caches import SetAssociativeCache  # noqa: F401  (re-export convenience)
+
+
+class MemoryController(Component):
+    """FIFO-scheduled controller with per-bank open rows.
+
+    Requests arrive via :meth:`enqueue` as ``(address, is_write, token)``;
+    when the access completes, ``on_complete(token, cycle)`` fires (the L2
+    slice uses it to fill the line and release the waiting transaction).
+    """
+
+    #: Bytes per DRAM row (page) for row-hit accounting.
+    ROW_BYTES = 2048
+    #: Banks per controller.
+    NUM_BANKS = 8
+    #: Data-burst cycles per access on top of the row timing.
+    BURST_CYCLES = 4
+
+    def __init__(
+        self,
+        name: str,
+        timing: DramTiming,
+        on_complete: Callable[[object, int], None],
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.name = name
+        self.timing = timing
+        self.on_complete = on_complete
+        self.stats = stats
+        self._queue: Deque[Tuple[int, bool, object]] = deque()
+        self._open_row: Dict[int, int] = {}
+        self._bank_ready: Dict[int, int] = {}
+        self._in_flight: List[Tuple[int, object]] = []
+
+    def enqueue(self, address: int, is_write: bool, token: object) -> None:
+        self._queue.append((address, is_write, token))
+        if self.stats is not None:
+            self.stats.incr(f"{self.name}.requests")
+
+    def pending(self) -> int:
+        return len(self._queue) + len(self._in_flight)
+
+    def tick(self, cycle: int) -> None:
+        # Complete finished accesses.
+        if self._in_flight:
+            still = [
+                (ready, token)
+                for ready, token in self._in_flight
+                if ready > cycle
+            ]
+            for ready, token in self._in_flight:
+                if ready <= cycle:
+                    self.on_complete(token, cycle)
+            self._in_flight = still
+        # Start new accesses on ready banks (FIFO, one start per cycle).
+        if not self._queue:
+            return
+        address, is_write, token = self._queue[0]
+        row = address // self.ROW_BYTES
+        bank = row % self.NUM_BANKS
+        if self._bank_ready.get(bank, 0) > cycle:
+            return
+        timing = self.timing
+        open_row = self._open_row.get(bank)
+        if open_row == row:
+            access = timing.row_hit_latency
+            if self.stats is not None:
+                self.stats.incr(f"{self.name}.row_hits")
+        elif open_row is None:
+            access = timing.t_rcd + timing.t_cl
+        else:
+            access = timing.row_miss_latency
+            if self.stats is not None:
+                self.stats.incr(f"{self.name}.row_misses")
+        latency = access + self.BURST_CYCLES + timing.t_overhead
+        self._queue.popleft()
+        self._open_row[bank] = row
+        self._bank_ready[bank] = cycle + latency
+        self._in_flight.append((cycle + latency, token))
+
+    def reset(self) -> None:
+        self._queue.clear()
+        self._open_row.clear()
+        self._bank_ready.clear()
+        self._in_flight.clear()

@@ -1,0 +1,157 @@
+"""Synthetic memory workloads used throughout the paper's experiments.
+
+These are the warp programs behind Algorithm 1 (the reverse-engineering
+memory write test) and the contention-characterization sweeps: streaming
+reads/writes that bypass the L1 and sweep across all memory partitions so
+every L2 slice (and hence the full interconnect path) is exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..config import GpuConfig
+from .coalescer import lane_addresses_uncoalesced
+from .kernel import Kernel
+from .warp import MemOp, WaitCycles, WarpContext, WarpProgram, READ, WRITE
+
+
+def streaming_program(
+    context: WarpContext,
+) -> WarpProgram:
+    """Algorithm 1's body: ``amount`` sequential strided memory ops.
+
+    Kernel args (``context.args``):
+
+    ``kind``           ``"read"`` or ``"write"``.
+    ``ops``            Warp-level memory instructions to execute.
+    ``base``           Base byte address for this kernel's array.
+    ``line_bytes``     Cache line size (lane stride granularity).
+    ``uncoalesced``    If True (default) every lane touches its own line —
+                       32 transactions per op; if False the op coalesces to
+                       a single transaction.
+    ``duty``           Fraction of ops actually issued (the 'fraction of
+                       memory access' x-axis of Figures 8 and 11); skipped
+                       ops become equivalent idle cycles.
+    ``footprint_lines``Lines in the array before wrapping (keeps the
+                       working set inside the preloaded L2 region).
+    ``active_sms``     Algorithm 1's smid gate: if set, blocks landing on
+                       other SMs exit immediately, so only the selected
+                       SMs produce traffic.
+    ``region_stride``  Per-SM address-space separation: each SM works on
+                       ``base + sm_id * region_stride`` (Algorithm 1 uses
+                       disjoint arrays ``arr_A``/``arr_B`` per SM).
+    ``durations``      Optional dict; each active warp stores its measured
+                       execution time (clock() delta on its own SM) under
+                       key ``(sm_id, block_id, warp_id)``.
+    """
+    from .warp import ReadClock
+
+    args = context.args
+    active_sms = args.get("active_sms")
+    if active_sms is not None and context.sm_id not in active_sms:
+        return
+    kind = args["kind"]
+    ops = args["ops"]
+    base = args.get("base", 0) + context.sm_id * args.get("region_stride", 0)
+    line_bytes = args["line_bytes"]
+    uncoalesced = args.get("uncoalesced", True)
+    duty = args.get("duty", 1.0)
+    overrides = args.get("duty_overrides")
+    if overrides is not None:
+        duty = overrides.get(context.sm_id, duty)
+    footprint_lines = args.get("footprint_lines", 4096)
+    durations = args.get("durations")
+    start_clock = 0
+    if durations is not None:
+        start_clock = yield ReadClock()
+    lanes = context.lanes if uncoalesced else 1
+    #: Idle time standing in for a skipped op (roughly one op's issue time).
+    skip_cycles = args.get("skip_cycles", lanes)
+
+    # Each warp strides through a disjoint region so requests always miss
+    # the coalescer and spread over all L2 slices.
+    warp_lines = footprint_lines // max(1, lanes)
+    issued = 0.0
+    for op_index in range(ops):
+        issued += duty
+        if issued < 1.0:
+            yield WaitCycles(skip_cycles)
+            continue
+        issued -= 1.0
+        # Stagger warps within a block so concurrent warps stream through
+        # different lines of the array (no same-cycle same-slice pileup).
+        phase = context.warp_id * 13
+        line_offset = ((op_index + phase) * lanes) % max(1, warp_lines * lanes)
+        op_base = base + line_offset * line_bytes
+        addresses = lane_addresses_uncoalesced(
+            op_base, line_bytes, lanes=lanes
+        )
+        yield MemOp(kind, addresses)
+    if durations is not None:
+        end_clock = yield ReadClock()
+        key = (context.sm_id, context.block_id, context.warp_id)
+        durations[key] = end_clock - start_clock
+
+
+def make_streaming_kernel(
+    config: GpuConfig,
+    kind: str,
+    ops: int,
+    base: int = 0,
+    num_blocks: int = 1,
+    warps_per_block: int = 1,
+    duty: float = 1.0,
+    duty_overrides: Optional[dict] = None,
+    uncoalesced: bool = True,
+    footprint_lines: Optional[int] = None,
+    active_sms: Optional[set] = None,
+    durations: Optional[dict] = None,
+    region_stride: int = 0,
+    name: Optional[str] = None,
+) -> Kernel:
+    """Build a streaming read/write kernel (Algorithm 1 style).
+
+    The default footprint covers a multiple of the L2 slice count so all
+    memory partitions are touched, as the paper's benchmark requires.
+    ``active_sms``/``durations`` implement Algorithm 1's smid gate and the
+    per-SM clock()-delta execution-time measurement.
+    """
+    if footprint_lines is None:
+        footprint_lines = config.num_l2_slices * 64
+    return Kernel(
+        streaming_program,
+        num_blocks=num_blocks,
+        warps_per_block=warps_per_block,
+        args={
+            "kind": kind,
+            "ops": ops,
+            "base": base,
+            "line_bytes": config.l2_line_bytes,
+            "duty": duty,
+            "duty_overrides": duty_overrides,
+            "uncoalesced": uncoalesced,
+            "footprint_lines": footprint_lines,
+            "active_sms": active_sms,
+            "durations": durations,
+            "region_stride": region_stride,
+        },
+        name=name or f"stream-{kind}",
+    )
+
+
+def kernel_footprint_bytes(config: GpuConfig, kernel: Kernel) -> int:
+    """Bytes the kernel's array spans (for L2 preloading)."""
+    lines = kernel.args.get("footprint_lines", config.num_l2_slices * 64)
+    return lines * config.l2_line_bytes
+
+
+def clock_survey_program(context: WarpContext) -> WarpProgram:
+    """Kernel that just returns clock() from its SM (Figure 6).
+
+    The observed value is stored in ``context.args['results'][sm_id]``.
+    """
+    from .warp import ReadClock
+
+    value = yield ReadClock()
+    context.args["results"][context.sm_id] = value

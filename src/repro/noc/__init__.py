@@ -1,0 +1,33 @@
+"""Hierarchical on-chip network: packets, buffers, arbiters, muxes, crossbar."""
+
+from .packet import Packet, READ, WRITE
+from .buffer import PacketQueue
+from .arbiter import (
+    AgeBased,
+    ArbitrationPolicy,
+    CoarseRoundRobin,
+    FixedPriority,
+    RandomArbiter,
+    RoundRobin,
+    StrictRoundRobin,
+    make_policy,
+)
+from .mux import Mux
+from .crossbar import Crossbar
+
+__all__ = [
+    "Packet",
+    "READ",
+    "WRITE",
+    "PacketQueue",
+    "ArbitrationPolicy",
+    "RoundRobin",
+    "CoarseRoundRobin",
+    "StrictRoundRobin",
+    "AgeBased",
+    "FixedPriority",
+    "RandomArbiter",
+    "make_policy",
+    "Mux",
+    "Crossbar",
+]

@@ -1,0 +1,123 @@
+"""Crossbar between the GPC channels and the L2 slices.
+
+Public NVIDIA block diagrams show a crossbar in the middle of the GPU; the
+paper's reverse engineering concludes it interconnects the GPC channels
+with the partitioned L2 (Section 3.1).  The model is an input-queued
+crossbar with head-of-line semantics: each input port forwards its head
+packet toward the output that the routing function selects, subject to a
+per-input and per-output flit budget per cycle, with per-output arbitration
+among competing inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..sim.engine import Component
+from ..sim.stats import StatsRegistry
+from .arbiter import ArbitrationPolicy, make_policy
+from .buffer import PacketQueue
+from .packet import Packet
+
+
+class Crossbar(Component):
+    """Input-queued crossbar with per-port flit budgets.
+
+    Parameters
+    ----------
+    route:
+        Maps a packet to its output port index.
+    width:
+        Flits per cycle each output port can accept.
+    input_width:
+        Flits per cycle each input port can send (defaults to ``width``;
+        the reply crossbar uses a wider input so the narrow per-GPC
+        output channel does not throttle the L2 slices themselves).
+    policy_name / seed:
+        Arbitration policy instantiated per output port.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: List[PacketQueue],
+        outputs: List[PacketQueue],
+        route: Callable[[Packet], int],
+        width: int,
+        input_width: Optional[int] = None,
+        policy_name: str = "rr",
+        seed: int = 0,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.name = name
+        self.inputs = inputs
+        self.outputs = outputs
+        self.route = route
+        self.width = width
+        self.input_width = width if input_width is None else input_width
+        self.stats = stats
+        self._policies: List[ArbitrationPolicy] = [
+            make_policy(policy_name, len(inputs), seed=seed + i)
+            for i in range(len(outputs))
+        ]
+        self._progress: List[int] = [0] * len(inputs)
+        self._reserved: List[bool] = [False] * len(inputs)
+
+    def tick(self, cycle: int) -> None:
+        num_inputs = len(self.inputs)
+        input_budget = [self.input_width] * num_inputs
+        output_budget = [self.width] * len(self.outputs)
+        # Heads and their routed outputs, refreshed as packets complete.
+        while True:
+            moved = False
+            heads: List[Optional[Packet]] = [q.head() for q in self.inputs]
+            # Group candidate inputs by output port.
+            per_output: List[List[int]] = [[] for _ in self.outputs]
+            for port, head in enumerate(heads):
+                if head is None or input_budget[port] <= 0:
+                    continue
+                out = self.route(head)
+                if output_budget[out] <= 0:
+                    continue
+                if self._reserved[port] or self.outputs[out].can_reserve(
+                    head.flits
+                ):
+                    per_output[out].append(port)
+            for out, candidates in enumerate(per_output):
+                if not candidates:
+                    continue
+                policy = self._policies[out]
+                allowed = policy.allowed_inputs(cycle)
+                if allowed is not None:
+                    candidates = [p for p in candidates if p in allowed]
+                    if not candidates:
+                        continue
+                port = policy.choose(candidates, heads, cycle)
+                packet = heads[port]
+                assert packet is not None
+                if not self._reserved[port]:
+                    self.outputs[out].reserve(packet.flits)
+                    self._reserved[port] = True
+                self._progress[port] += 1
+                input_budget[port] -= 1
+                output_budget[out] -= 1
+                last = self._progress[port] >= packet.flits
+                policy.note_flit(port, packet, last)
+                if last:
+                    self.inputs[port].pop()
+                    self.outputs[out].commit(packet)
+                    self._progress[port] = 0
+                    self._reserved[port] = False
+                    if self.stats is not None:
+                        self.stats.incr(f"{self.name}.packets")
+                moved = True
+            if not moved:
+                break
+
+    def reset(self) -> None:
+        self._progress = [0] * len(self.inputs)
+        self._reserved = [False] * len(self.inputs)
+        for policy in self._policies:
+            policy.reset()
+        for queue in self.inputs:
+            queue.clear()

@@ -1,0 +1,100 @@
+"""N:1 concentrator mux — the shared resource behind the covert channel.
+
+A :class:`Mux` merges several input :class:`PacketQueue` objects onto one
+output queue with a per-cycle flit budget (``width``).  The TPC mux is a
+2:1 mux of width 1 (no speedup: two SMs oversubscribe it 2x, giving the
+Figure 2 contention).  The GPC mux is a 7:1 mux *with* speedup (width > 1),
+which is why seven write-streaming TPCs only lose ~15% (Figure 5b).
+
+Transmission uses virtual cut-through: output space for the whole packet is
+reserved when its first flit crosses, and the packet is committed to the
+output queue when its last flit crosses, i.e. a packet of F flits takes
+ceil(F / width_share) cycles of channel occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim.engine import Component
+from ..sim.stats import StatsRegistry
+from .arbiter import ArbitrationPolicy
+from .buffer import PacketQueue
+from .packet import Packet
+
+
+class Mux(Component):
+    """Arbitrated N:1 concentrator with a flit-per-cycle budget."""
+
+    def __init__(
+        self,
+        name: str,
+        inputs: List[PacketQueue],
+        output: PacketQueue,
+        width: int,
+        policy: ArbitrationPolicy,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        if policy.num_inputs != len(inputs):
+            raise ValueError(
+                f"{name}: policy built for {policy.num_inputs} inputs, "
+                f"mux has {len(inputs)}"
+            )
+        self.name = name
+        self.inputs = inputs
+        self.output = output
+        self.width = width
+        self.policy = policy
+        self.stats = stats
+        #: Flits already transmitted of each input's head packet.
+        self._progress: List[int] = [0] * len(inputs)
+        #: Whether output space is reserved for each input's head packet.
+        self._reserved: List[bool] = [False] * len(inputs)
+
+    def tick(self, cycle: int) -> None:
+        budget = self.width
+        inputs = self.inputs
+        allowed = self.policy.allowed_inputs(cycle)
+        while budget > 0:
+            heads: List[Optional[Packet]] = [q.head() for q in inputs]
+            candidates = [
+                port
+                for port, head in enumerate(heads)
+                if head is not None and self._can_start(port, head)
+            ]
+            if allowed is not None:
+                candidates = [p for p in candidates if p in allowed]
+            if not candidates:
+                break
+            port = self.policy.choose(candidates, heads, cycle)
+            packet = heads[port]
+            assert packet is not None
+            if not self._reserved[port]:
+                self.output.reserve(packet.flits)
+                self._reserved[port] = True
+            self._progress[port] += 1
+            budget -= 1
+            last = self._progress[port] >= packet.flits
+            self.policy.note_flit(port, packet, last)
+            if last:
+                inputs[port].pop()
+                self.output.commit(packet)
+                self._progress[port] = 0
+                self._reserved[port] = False
+                if self.stats is not None:
+                    self.stats.incr(f"{self.name}.packets")
+            if self.stats is not None:
+                self.stats.incr(f"{self.name}.flits")
+
+    def _can_start(self, port: int, head: Packet) -> bool:
+        """A packet may (continue to) transmit if output space is secured."""
+        if self._reserved[port]:
+            return True
+        return self.output.can_reserve(head.flits)
+
+    def reset(self) -> None:
+        self._progress = [0] * len(self.inputs)
+        self._reserved = [False] * len(self.inputs)
+        self.policy.reset()
+        for queue in self.inputs:
+            queue.clear()

@@ -1,0 +1,73 @@
+"""Memory request/reply packets that traverse the on-chip network.
+
+A warp-level memory instruction is split by the coalescer into one or more
+*transactions*; each transaction becomes one request :class:`Packet` on the
+request subnet and (for reads, and for write acknowledgements) one reply
+packet on the reply subnet.  Packets carry their size in flits — bandwidth
+accounting throughout the NoC is done in flits, matching the Table 1
+``flit_size = 40`` configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+READ = "read"
+WRITE = "write"
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One network packet (a memory transaction or its reply).
+
+    Attributes
+    ----------
+    kind:
+        ``"read"`` or ``"write"``.
+    is_reply:
+        False on the request subnet, True on the reply subnet.
+    address:
+        Byte address of the access (used for L2 slice routing).
+    flits:
+        Packet length in flits; determines channel occupancy.
+    src_sm:
+        Logical id of the SM that issued the transaction (reply routing).
+    slice_id:
+        Destination L2 slice (request routing).
+    warp_ref:
+        Opaque handle the SM uses to credit the originating warp when the
+        transaction completes.
+    group_id:
+        Warp-level group tag used by coarse-grain round-robin arbitration
+        (all transactions of one warp memory op share a group id).
+    """
+
+    kind: str
+    address: int
+    flits: int
+    src_sm: int
+    slice_id: int
+    is_reply: bool = False
+    warp_ref: Optional[object] = None
+    group_id: int = -1
+    #: Cycle the packet was created (age-based arbitration, latency stats).
+    birth_cycle: int = 0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def make_reply(self, flits: int, cycle: int) -> "Packet":
+        """Build the reply packet for this request."""
+        return Packet(
+            kind=self.kind,
+            address=self.address,
+            flits=flits,
+            src_sm=self.src_sm,
+            slice_id=self.slice_id,
+            is_reply=True,
+            warp_ref=self.warp_ref,
+            group_id=self.group_id,
+            birth_cycle=cycle,
+        )

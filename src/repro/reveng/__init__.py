@@ -1,0 +1,53 @@
+"""Reverse engineering of the GPU on-chip network (Section 3 & 4.3)."""
+
+from .tpc_discovery import (
+    TpcSweepResult,
+    measure_active_sms,
+    recover_tpc_pairs,
+    sweep_tpc_pairing,
+)
+from .gpc_discovery import (
+    GpcSweepResult,
+    recover_gpc_groups,
+    sweep_gpc_membership,
+    verify_topology,
+)
+from .contention import (
+    RwContentionProfile,
+    SharingSweepResult,
+    gpc_sharing_sweep,
+    mux_sharing_sweep,
+    rw_contention_profile,
+)
+from .clockmap import ClockSurvey, repeated_skew_statistics, survey_clocks
+from .colocation import (
+    ColocationPlan,
+    detect_colocation_by_contention,
+    infer_scheduling_policy,
+    plan_tpc_colocation,
+    probe_block_placement,
+)
+
+__all__ = [
+    "TpcSweepResult",
+    "measure_active_sms",
+    "recover_tpc_pairs",
+    "sweep_tpc_pairing",
+    "GpcSweepResult",
+    "recover_gpc_groups",
+    "sweep_gpc_membership",
+    "verify_topology",
+    "RwContentionProfile",
+    "SharingSweepResult",
+    "gpc_sharing_sweep",
+    "mux_sharing_sweep",
+    "rw_contention_profile",
+    "ClockSurvey",
+    "repeated_skew_statistics",
+    "survey_clocks",
+    "ColocationPlan",
+    "detect_colocation_by_contention",
+    "infer_scheduling_policy",
+    "plan_tpc_colocation",
+    "probe_block_placement",
+]

@@ -1,0 +1,136 @@
+"""Thread-block scheduling reverse engineering (Section 4.3).
+
+The covert channel needs the sender and receiver *co-located* on the two
+SMs of each TPC.  The paper determines that the hardware scheduler
+interleaves thread blocks across GPCs, and across TPCs within a GPC,
+before doubling up on any TPC.  Consequently: launch the sender with one
+block per TPC first, then the receiver with one block per TPC — every TPC
+ends up with one sender SM and one receiver SM.
+
+This module probes the scheduler of the simulated device the same way the
+paper probes the real one (reading ``%smid`` per block) and provides the
+co-location helper the covert channels use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import GpuConfig
+from ..gpu.device import GpuDevice
+from ..gpu.kernel import Kernel
+from ..gpu.warp import WarpContext, WarpProgram, WaitCycles
+
+
+def _smid_probe_program(context: WarpContext) -> WarpProgram:
+    """Record this block's %smid, then idle briefly (keeps blocks resident
+    concurrently so the placement reflects one dispatch wave)."""
+    context.args["placements"][
+        (context.args["tag"], context.block_id)
+    ] = context.sm_id
+    yield WaitCycles(context.args.get("hold_cycles", 64))
+
+
+def probe_block_placement(
+    config: GpuConfig,
+    grid_sizes: Tuple[int, ...] = None,
+) -> Dict[Tuple[int, int], int]:
+    """Launch consecutive grids and record every block's %smid.
+
+    Returns ``(kernel_index, block_id) -> sm_id``, the raw data from which
+    the scheduling policy is inferred.
+    """
+    if grid_sizes is None:
+        grid_sizes = (config.num_tpcs, config.num_tpcs)
+    device = GpuDevice(config)
+    placements: Dict[Tuple[int, int], int] = {}
+    kernels = []
+    for index, size in enumerate(grid_sizes):
+        kernels.append(
+            Kernel(
+                _smid_probe_program,
+                num_blocks=size,
+                args={"placements": placements, "tag": index},
+                name=f"probe{index}",
+            )
+        )
+    device.run_kernels(kernels)
+    return placements
+
+
+@dataclass
+class ColocationPlan:
+    """Sender/receiver SM assignment produced by the scheduling trick."""
+
+    #: TPC id -> (sender SM, receiver SM).
+    pairs: Dict[int, Tuple[int, int]]
+
+    @property
+    def num_channels(self) -> int:
+        return len(self.pairs)
+
+
+def infer_scheduling_policy(config: GpuConfig) -> List[int]:
+    """Infer the dispatch order by probing with one block per SM."""
+    placements = probe_block_placement(config, grid_sizes=(config.num_sms,))
+    order = [None] * config.num_sms
+    for (tag, block_id), sm_id in placements.items():
+        order[block_id] = sm_id
+    return order
+
+
+def detect_colocation_by_contention(
+    config: GpuConfig,
+    kernel_a_sm: int,
+    kernel_b_sm: int,
+    ops: int = 10,
+    threshold: float = 1.5,
+) -> bool:
+    """Decide whether two kernels share a TPC *without* reading %smid.
+
+    The paper's scheduler trick relies on %smid; on a system that hides
+    it, the attacker can still verify co-location the same way the
+    reverse engineering works: run a streaming-write probe on kernel A
+    alone, then with kernel B active — a >~2x slowdown means the two
+    share a TPC injection channel.  (This is also the handshaking
+    primitive Section 6 mentions as a clock-fuzzing workaround.)
+    """
+    from .tpc_discovery import measure_active_sms
+
+    baseline = measure_active_sms(config, {kernel_a_sm}, "write", ops=ops)[
+        kernel_a_sm
+    ]
+    paired = measure_active_sms(
+        config, {kernel_a_sm, kernel_b_sm}, "write", ops=ops
+    )[kernel_a_sm]
+    return paired / baseline > threshold
+
+
+def plan_tpc_colocation(
+    config: GpuConfig, num_tpcs: Optional[int] = None
+) -> ColocationPlan:
+    """Verify the sender-first/receiver-second trick and build the plan.
+
+    Launches a ``num_tpcs``-block sender probe followed by an equal-size
+    receiver probe and checks that every TPC received exactly one block of
+    each — raising if the co-location assumption is violated.
+    """
+    total = config.num_tpcs if num_tpcs is None else num_tpcs
+    placements = probe_block_placement(config, grid_sizes=(total, total))
+    sender_sms = [placements[(0, block)] for block in range(total)]
+    receiver_sms = [placements[(1, block)] for block in range(total)]
+    pairs: Dict[int, Tuple[int, int]] = {}
+    for sender_sm, receiver_sm in zip(sender_sms, receiver_sms):
+        sender_tpc = config.sm_to_tpc(sender_sm)
+        receiver_tpc = config.sm_to_tpc(receiver_sm)
+        if sender_tpc != receiver_tpc:
+            raise RuntimeError(
+                f"co-location violated: sender SM {sender_sm} "
+                f"(TPC {sender_tpc}) vs receiver SM {receiver_sm} "
+                f"(TPC {receiver_tpc})"
+            )
+        if sender_tpc in pairs:
+            raise RuntimeError(f"TPC {sender_tpc} received two sender blocks")
+        pairs[sender_tpc] = (sender_sm, receiver_sm)
+    return ColocationPlan(pairs=pairs)

@@ -1,0 +1,173 @@
+"""Contention characterization sweeps (Figures 5, 8, and 11).
+
+These experiments quantify *how much* the shared channels leak:
+
+* :func:`rw_contention_profile` — read vs write degradation for the TPC
+  channel (2 SMs) and the GPC channel (1-7 active TPCs): Figure 5.
+* :func:`mux_sharing_sweep` — SM0's execution time as a function of the
+  co-runner's traffic fraction, for a mux-sharing co-runner (SM1) and a
+  non-sharing one (e.g. SM12): Figure 8.  The linear slope for SM1 versus
+  the flat line for SM12 is the leakage the covert channel encodes bits
+  into.
+* :func:`gpc_sharing_sweep` — the same sweep at GPC granularity
+  (Figure 11); the slope is smaller because of the GPC bandwidth speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import GpuConfig
+from .tpc_discovery import measure_active_sms
+
+
+@dataclass
+class RwContentionProfile:
+    """Figure 5's data."""
+
+    #: Normalized 2-SM TPC-channel execution time, per access kind.
+    tpc: Dict[str, float] = field(default_factory=dict)
+    #: kind -> list over 1..N activated TPCs of normalized execution time.
+    gpc: Dict[str, List[float]] = field(default_factory=dict)
+
+
+def rw_contention_profile(
+    config: GpuConfig,
+    ops: int = 12,
+    max_tpcs: Optional[int] = None,
+    gpc_id: int = 0,
+) -> RwContentionProfile:
+    """Measure read/write contention on TPC and GPC channels (Figure 5)."""
+    profile = RwContentionProfile()
+    members = config.gpc_members()[gpc_id]
+    if max_tpcs is None:
+        max_tpcs = len(members)
+    anchor_sm = config.tpc_sms(members[0])[0]
+    pair = set(config.tpc_sms(members[0]))
+    for kind in ("write", "read"):
+        baseline = measure_active_sms(config, {anchor_sm}, kind, ops=ops)[
+            anchor_sm
+        ]
+        profile.tpc[kind] = (
+            measure_active_sms(config, pair, kind, ops=ops)[anchor_sm]
+            / baseline
+        )
+        series: List[float] = []
+        for active_tpcs in range(1, max_tpcs + 1):
+            active = {
+                config.tpc_sms(tpc)[0] for tpc in members[:active_tpcs]
+            }
+            measured = measure_active_sms(config, active, kind, ops=ops)
+            series.append(measured[anchor_sm] / baseline)
+        profile.gpc[kind] = series
+    return profile
+
+
+@dataclass
+class SharingSweepResult:
+    """Figures 8/11: probe time vs co-runner traffic fraction."""
+
+    fractions: List[float]
+    #: co-runner label -> normalized probe execution time per fraction.
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def slope(self, label: str) -> float:
+        """Least-squares slope of a series (leakage strength)."""
+        xs = self.fractions
+        ys = self.series[label]
+        n = len(xs)
+        mean_x = sum(xs) / n
+        mean_y = sum(ys) / n
+        num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        den = sum((x - mean_x) ** 2 for x in xs)
+        return num / den if den else 0.0
+
+
+def mux_sharing_sweep(
+    config: GpuConfig,
+    probe_sm: int = 0,
+    sharing_sm: Optional[int] = None,
+    non_sharing_sm: Optional[int] = None,
+    fractions: Sequence[float] = (0.0, 0.12, 0.24, 0.36, 0.48, 0.6, 0.72, 0.84, 0.96),
+    ops: int = 16,
+) -> SharingSweepResult:
+    """Reproduce Figure 8: vary the co-runner's write-traffic fraction.
+
+    ``sharing_sm`` defaults to the probe's TPC sibling; ``non_sharing_sm``
+    defaults to an SM of another TPC in the same GPC (SM12 in the paper).
+    """
+    if sharing_sm is None:
+        siblings = config.tpc_sms(config.sm_to_tpc(probe_sm))
+        sharing_sm = next(sm for sm in siblings if sm != probe_sm)
+    if non_sharing_sm is None:
+        gpc = config.sm_to_gpc(probe_sm)
+        other_tpc = next(
+            tpc
+            for tpc in config.gpc_members()[gpc]
+            if tpc != config.sm_to_tpc(probe_sm)
+        )
+        non_sharing_sm = config.tpc_sms(other_tpc)[0]
+    baseline = measure_active_sms(config, {probe_sm}, "write", ops=ops)[
+        probe_sm
+    ]
+    result = SharingSweepResult(fractions=list(fractions))
+    for label, other in (
+        (f"SM{sharing_sm}", sharing_sm),
+        (f"SM{non_sharing_sm}", non_sharing_sm),
+    ):
+        series: List[float] = []
+        for fraction in fractions:
+            measured = measure_active_sms(
+                config, {probe_sm, other}, "write", ops=ops,
+                duty_overrides={other: fraction},
+            )
+            series.append(measured[probe_sm] / baseline)
+        result.series[label] = series
+    return result
+
+
+def gpc_sharing_sweep(
+    config: GpuConfig,
+    gpc_id: int = 0,
+    fractions: Sequence[float] = (0.0, 0.12, 0.24, 0.36, 0.48, 0.6, 0.72, 0.84, 0.96),
+    ops: int = 8,
+    num_senders: int = 4,
+) -> SharingSweepResult:
+    """Reproduce Figure 11: GPC-channel leakage slope.
+
+    The probe TPC issues reads while ``num_senders`` other TPCs of the
+    same GPC (or, for the control series, TPCs of a *different* GPC)
+    issue reads at a varied fraction.  Same-GPC senders raise the probe's
+    time linearly but with a much smaller slope than the TPC channel —
+    the GPC bandwidth speedup absorbs most of the pressure (the paper's
+    "speedup reduces the impact of interconnect contention");
+    different-GPC senders leave it flat.
+    """
+    members = config.gpc_members()
+    probe_tpc = members[gpc_id][0]
+    probe_sm = config.tpc_sms(probe_tpc)[0]
+    same = [
+        config.tpc_sms(t)[0]
+        for t in members[gpc_id][1 : 1 + num_senders]
+    ]
+    other_gpc = (gpc_id + 1) % config.num_gpcs
+    different = [config.tpc_sms(t)[0] for t in members[other_gpc]][: len(same)]
+    baseline = measure_active_sms(config, {probe_sm}, "read", ops=ops)[
+        probe_sm
+    ]
+    result = SharingSweepResult(fractions=list(fractions))
+    for label, senders in (
+        ("same-gpc", same),
+        ("different-gpc", different),
+    ):
+        series: List[float] = []
+        for fraction in fractions:
+            active = {probe_sm} | set(senders)
+            measured = measure_active_sms(
+                config, active, "read", ops=ops,
+                duty_overrides={sm: fraction for sm in senders},
+            )
+            series.append(measured[probe_sm] / baseline)
+        result.series[label] = series
+    return result

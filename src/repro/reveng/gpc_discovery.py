@@ -1,0 +1,190 @@
+"""GPC membership reverse engineering (Section 3.3, Figures 3 and 4).
+
+The experiment: always activate TPC0 (one SM), activate one *varied* TPC,
+and activate 5 more randomly-selected TPCs (one SM each, 7 SMs total —
+enough read traffic to oversubscribe a GPC reply channel thanks to the
+bandwidth speedup).  Repeat many times per varied TPC and average TPC0's
+execution time.  When the varied TPC shares TPC0's GPC, the probability
+that the GPC channel is contended rises, and TPC0's average time is
+measurably higher — revealing GPC membership.  Repeating with every TPC as
+the anchor recovers the full logical-to-physical map (Figure 4).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..config import GpuConfig
+from .tpc_discovery import measure_active_sms
+
+
+@dataclass
+class GpcSweepResult:
+    """Figure 3's data for one anchor TPC."""
+
+    anchor_tpc: int
+    #: varied TPC id -> list of anchor execution times (one per trial).
+    samples: Dict[int, List[int]] = field(default_factory=dict)
+    #: Every trial as (active co-runner TPC set, anchor time).  The sweep
+    #: *chose* the random TPCs, so each trial labels all of them — far
+    #: more information per run than the varied TPC alone.
+    trials: List = field(default_factory=list)
+
+    def averages(self) -> Dict[int, float]:
+        """Varied TPC id -> mean anchor execution time (Fig 3b/3d)."""
+        return {
+            tpc: sum(times) / len(times)
+            for tpc, times in self.samples.items()
+            if times
+        }
+
+    def contended_fractions(self, slowdown_cut: float = 1.05) -> Dict[int, float]:
+        """Per varied TPC: fraction of trials showing GPC contention.
+
+        A trial counts as contended when the anchor ran more than
+        ``slowdown_cut`` times slower than the fastest trial observed
+        anywhere in the sweep (the no-contention baseline).  This is the
+        scatter visible in Figure 3(a): co-resident TPCs produce high
+        outlier trials far more often.
+        """
+        baseline = min(
+            min(times) for times in self.samples.values() if times
+        )
+        cut = baseline * slowdown_cut
+        return {
+            tpc: sum(1 for t in times if t > cut) / len(times)
+            for tpc, times in self.samples.items()
+            if times
+        }
+
+    def membership_scores(self) -> Dict[int, float]:
+        """Per-TPC leverage on the anchor's execution time.
+
+        For every co-runner TPC, compare the anchor's mean time over the
+        trials where that TPC was active against the trials where it was
+        idle.  Because the sweep knows each trial's full active set, every
+        run contributes a label for *all* candidate TPCs — pooling makes
+        the estimate far more sample-efficient than the per-varied-TPC
+        averages alone, while measuring the same physical effect: only
+        same-GPC TPCs raise the anchor's time.
+        """
+        candidates = {
+            tpc for active, _time in self.trials for tpc in active
+        }
+        scores: Dict[int, float] = {}
+        for tpc in sorted(candidates):
+            active_times = [t for a, t in self.trials if tpc in a]
+            idle_times = [t for a, t in self.trials if tpc not in a]
+            if not active_times or not idle_times:
+                continue
+            scores[tpc] = (
+                sum(active_times) / len(active_times)
+                - sum(idle_times) / len(idle_times)
+            )
+        return scores
+
+    def co_resident_tpcs(self, margin: float = 0.5) -> List[int]:
+        """TPCs inferred to share the anchor's GPC.
+
+        A TPC is flagged when its membership score lies more than
+        ``margin`` of the way from the sweep's minimum score toward its
+        maximum — the Figure 3(b,d) outliers.
+        """
+        scores = self.membership_scores()
+        if not scores:
+            return []
+        low = min(scores.values())
+        high = max(scores.values())
+        if high <= low:
+            return []
+        cut = low + margin * (high - low)
+        return sorted(tpc for tpc, score in scores.items() if score > cut)
+
+
+def sweep_gpc_membership(
+    config: GpuConfig,
+    anchor_tpc: int = 0,
+    trials: int = 25,
+    extra_tpcs: int = 5,
+    ops: int = 6,
+    seed: Optional[int] = None,
+    varied_tpcs: Optional[Sequence[int]] = None,
+) -> GpcSweepResult:
+    """Reproduce Figure 3 for one anchor TPC.
+
+    Per trial: the anchor TPC, the varied TPC, and ``extra_tpcs`` random
+    other TPCs are activated with one read-streaming SM each; the anchor's
+    execution time is recorded.
+    """
+    rng = random.Random(config.seed if seed is None else seed)
+    if varied_tpcs is None:
+        varied_tpcs = [
+            tpc for tpc in range(config.num_tpcs) if tpc != anchor_tpc
+        ]
+    result = GpcSweepResult(anchor_tpc=anchor_tpc)
+    anchor_sm = config.tpc_sms(anchor_tpc)[0]
+    for varied in varied_tpcs:
+        times: List[int] = []
+        for trial in range(trials):
+            others = [
+                tpc
+                for tpc in range(config.num_tpcs)
+                if tpc not in (anchor_tpc, varied)
+            ]
+            random_tpcs = rng.sample(others, min(extra_tpcs, len(others)))
+            co_runners = frozenset([varied] + random_tpcs)
+            active = {anchor_sm}
+            for tpc in co_runners:
+                active.add(config.tpc_sms(tpc)[0])
+            measured = measure_active_sms(
+                config,
+                active,
+                kind="read",
+                ops=ops,
+                seed_salt=rng.randrange(1 << 30),
+            )
+            times.append(measured[anchor_sm])
+            result.trials.append((co_runners, measured[anchor_sm]))
+        result.samples[varied] = times
+    return result
+
+
+def recover_gpc_groups(
+    config: GpuConfig,
+    trials: int = 25,
+    ops: int = 6,
+    seed: Optional[int] = None,
+    margin: float = 0.5,
+) -> List[Set[int]]:
+    """Recover the full TPC->GPC grouping (the Figure 4 map).
+
+    Runs the Figure 3 sweep from successive anchors until every TPC is
+    assigned to a group.  Anchors only sweep TPCs that are still
+    unassigned, which keeps the cost near one sweep per GPC.
+    """
+    unassigned = set(range(config.num_tpcs))
+    groups: List[Set[int]] = []
+    while unassigned:
+        anchor = min(unassigned)
+        varied = sorted(unassigned - {anchor})
+        sweep = sweep_gpc_membership(
+            config,
+            anchor_tpc=anchor,
+            trials=trials,
+            ops=ops,
+            seed=seed,
+            varied_tpcs=varied,
+        )
+        members = set(sweep.co_resident_tpcs(margin=margin)) & unassigned
+        group = {anchor} | members
+        groups.append(group)
+        unassigned -= group
+    return groups
+
+
+def verify_topology(config: GpuConfig, groups: List[Set[int]]) -> bool:
+    """Check recovered groups against the configured ground truth."""
+    truth = {frozenset(tpcs) for tpcs in config.gpc_members().values()}
+    return {frozenset(group) for group in groups} == truth

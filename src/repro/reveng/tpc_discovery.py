@@ -1,0 +1,135 @@
+"""TPC organization reverse engineering (Section 3.2, Algorithm 1, Fig 2).
+
+The experiment: run a memory-intensive streaming-write benchmark (L1
+bypassed, touching every memory partition) concurrently on SM0 and exactly
+one other SM, sweeping that other SM's id.  The execution time of SM0
+doubles only when the co-runner shares SM0's TPC injection channel —
+revealing which SMs are co-located in a TPC (consecutive even/odd pairs on
+Volta).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..config import GpuConfig
+from ..gpu.device import GpuDevice
+from ..gpu.workloads import kernel_footprint_bytes, make_streaming_kernel
+
+
+def measure_active_sms(
+    config: GpuConfig,
+    active_sms: Set[int],
+    kind: str = "write",
+    ops: int = 24,
+    duty: float = 1.0,
+    duty_overrides: Optional[Dict[int, float]] = None,
+    warps_per_block: int = 2,
+    seed_salt: int = 0,
+) -> Dict[int, int]:
+    """Run Algorithm 1 with only ``active_sms`` doing work.
+
+    A grid with one block per SM is launched; blocks whose ``%smid`` is not
+    in ``active_sms`` exit immediately (exactly the paper's gating).
+    Returns each active SM's measured execution time (its own clock()
+    delta, so cross-SM clock offsets cancel).
+    """
+    device = GpuDevice(config, seed_salt=seed_salt)
+    durations: Dict = {}
+    footprint = config.num_l2_slices * 64 * config.l2_line_bytes
+    kernel = make_streaming_kernel(
+        config,
+        kind,
+        ops=ops,
+        num_blocks=config.num_sms,
+        warps_per_block=warps_per_block,
+        duty=duty,
+        duty_overrides=duty_overrides,
+        active_sms=active_sms,
+        durations=durations,
+        region_stride=footprint,
+        name="algorithm1",
+    )
+    # Each active SM streams through its own disjoint array (Algorithm 1's
+    # arr_A / arr_B), all preloaded into the L2.
+    for sm_id in active_sms:
+        device.preload_region(sm_id * footprint, footprint)
+    device.run_kernels([kernel])
+    result: Dict[int, int] = {}
+    for (sm_id, _block, _warp), duration in durations.items():
+        result[sm_id] = max(duration, result.get(sm_id, 0))
+    missing = active_sms - set(result)
+    if missing:
+        raise RuntimeError(
+            f"active SMs {sorted(missing)} never got a block; "
+            f"increase the grid size"
+        )
+    return result
+
+
+@dataclass
+class TpcSweepResult:
+    """Figure 2's data: SM0 execution time vs the co-running SM's id."""
+
+    baseline: int
+    #: other-SM id -> SM0 execution time when co-running with that SM.
+    sm0_times: Dict[int, int]
+
+    def normalized(self) -> Dict[int, float]:
+        """SM0 time normalized to its solo baseline (the Fig 2 y-axis)."""
+        return {
+            sm: time / self.baseline for sm, time in self.sm0_times.items()
+        }
+
+    def partner_of_sm0(self, threshold: float = 1.5) -> List[int]:
+        """SMs whose co-running slows SM0 past ``threshold`` (its TPC mates)."""
+        return [
+            sm for sm, ratio in self.normalized().items() if ratio > threshold
+        ]
+
+
+def sweep_tpc_pairing(
+    config: GpuConfig,
+    probe_sm: int = 0,
+    other_sms: Optional[Sequence[int]] = None,
+    ops: int = 24,
+) -> TpcSweepResult:
+    """Reproduce Figure 2: co-run ``probe_sm`` with each other SM in turn."""
+    if other_sms is None:
+        other_sms = [sm for sm in range(config.num_sms) if sm != probe_sm]
+    baseline = measure_active_sms(config, {probe_sm}, ops=ops)[probe_sm]
+    sm0_times: Dict[int, int] = {}
+    for other in other_sms:
+        times = measure_active_sms(config, {probe_sm, other}, ops=ops)
+        sm0_times[other] = times[probe_sm]
+    return TpcSweepResult(baseline=baseline, sm0_times=sm0_times)
+
+
+def recover_tpc_pairs(
+    config: GpuConfig, ops: int = 24, threshold: float = 1.5
+) -> List[Set[int]]:
+    """Full TPC-pair recovery: group all SMs into their TPCs.
+
+    Runs the Figure 2 sweep from each still-unpaired even candidate until
+    every SM is assigned — the procedure the paper repeats "across a
+    different combination of SMs".
+    """
+    unassigned = set(range(config.num_sms))
+    pairs: List[Set[int]] = []
+    while unassigned:
+        probe = min(unassigned)
+        unassigned.discard(probe)
+        partner = None
+        baseline = measure_active_sms(config, {probe}, ops=ops)[probe]
+        for other in sorted(unassigned):
+            times = measure_active_sms(config, {probe, other}, ops=ops)
+            if times[probe] / baseline > threshold:
+                partner = other
+                break
+        if partner is None:
+            pairs.append({probe})
+        else:
+            unassigned.discard(partner)
+            pairs.append({probe, partner})
+    return pairs

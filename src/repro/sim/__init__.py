@@ -1,0 +1,7 @@
+"""Simulation kernel: cycle engine, clock registers, statistics."""
+
+from .engine import Component, Engine
+from .clock import ClockSystem
+from .stats import Sampler, StatsRegistry
+
+__all__ = ["Component", "Engine", "ClockSystem", "Sampler", "StatsRegistry"]

@@ -1,0 +1,85 @@
+"""Lightweight statistics collection shared by all components.
+
+A :class:`StatsRegistry` is a flat namespace of named counters and samplers.
+Components increment counters as they work; experiments snapshot and diff
+the registry before/after a run.  Keeping this trivially simple (plain
+dicts) matters: stats updates happen on the per-cycle hot path.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List
+
+
+class Sampler:
+    """Accumulates scalar observations (e.g. latencies)."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "values")
+
+    def __init__(self, keep_values: bool = False) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.values: List[float] = [] if keep_values else None  # type: ignore
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if self.values is not None:
+            self.values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        if self.values is not None:
+            self.values.clear()
+
+
+class StatsRegistry:
+    """Named counters and samplers with snapshot/diff support."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.samplers: Dict[str, Sampler] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def sampler(self, name: str, keep_values: bool = False) -> Sampler:
+        existing = self.samplers.get(name)
+        if existing is None:
+            existing = Sampler(keep_values=keep_values)
+            self.samplers[name] = existing
+        return existing
+
+    def sample(self, name: str, value: float) -> None:
+        self.sampler(name).add(value)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the counter map (samplers are not snapshotted)."""
+        return dict(self.counters)
+
+    def diff(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Counter deltas since ``before`` (a prior :meth:`snapshot`)."""
+        return {
+            key: value - before.get(key, 0)
+            for key, value in self.counters.items()
+            if value != before.get(key, 0)
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        for sampler in self.samplers.values():
+            sampler.reset()

@@ -1,0 +1,37 @@
+"""Shared fixtures: scaled-down GPU configs and device factories."""
+
+import pytest
+
+from repro.config import GpuConfig, VOLTA_V100, medium_config, small_config
+from repro.gpu.device import GpuDevice
+
+
+@pytest.fixture
+def small_cfg() -> GpuConfig:
+    return small_config()
+
+
+@pytest.fixture
+def medium_cfg() -> GpuConfig:
+    return medium_config()
+
+
+@pytest.fixture
+def volta_cfg() -> GpuConfig:
+    return VOLTA_V100
+
+
+@pytest.fixture
+def quiet_cfg() -> GpuConfig:
+    """Small config without timing noise (deterministic latencies)."""
+    return small_config(timing_noise=0)
+
+
+@pytest.fixture
+def small_device(small_cfg) -> GpuDevice:
+    return GpuDevice(small_cfg)
+
+
+@pytest.fixture
+def quiet_device(quiet_cfg) -> GpuDevice:
+    return GpuDevice(quiet_cfg)

@@ -1,0 +1,116 @@
+"""Tests for the analysis helpers (figure builders and tables)."""
+
+import pytest
+
+from repro.config import small_config
+from repro.analysis.figures import (
+    fig9_latency_trace,
+    fig10_panel,
+    fig14_multilevel_trace,
+    table2_summary,
+)
+from repro.analysis.tables import format_series, format_table
+
+
+class TestTables:
+    def test_format_table_aligns_columns(self):
+        text = format_table(
+            ["name", "value"], [["short", 1.0], ["much-longer", 12.5]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) >= len("much-longer") for line in lines[2:])
+
+    def test_format_table_floats_rounded(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_format_series(self):
+        text = format_series([1, 2], [0.1, 0.2], "iter", "error")
+        assert "iter" in text and "error" in text
+        assert len(text.splitlines()) == 4
+
+
+class TestFig9:
+    def test_with_sync_keeps_contrast(self):
+        bits, trace = fig9_latency_trace(
+            small_config(), with_sync=True, num_bits=16
+        )
+        ones = [v for v, b in zip(trace, bits) if b]
+        zeros = [v for v, b in zip(trace, bits) if not b]
+        assert sum(ones) / len(ones) > 1.1 * sum(zeros) / len(zeros)
+
+    def test_without_sync_drifts(self):
+        """Figure 9a: without the periodic resync the latency pattern
+        degenerates — later '1' slots lose their elevation."""
+        bits, trace = fig9_latency_trace(
+            small_config(), with_sync=False, num_bits=24
+        )
+        ones = [v for v, b in zip(trace, bits) if b]
+        early = ones[: len(ones) // 3]
+        late = ones[-len(ones) // 3 :]
+        assert min(late) < max(early)  # degradation visible
+
+    def test_trace_lengths_match(self):
+        bits, trace = fig9_latency_trace(
+            small_config(), with_sync=True, num_bits=10
+        )
+        assert len(bits) == len(trace) == 10
+
+
+class TestFig10Panel:
+    def test_tpc_panel_shapes(self):
+        series = fig10_panel(
+            small_config(), "tpc", iterations=(1, 3, 5), bits_per_channel=8
+        )
+        rates = [p.bandwidth_kbps for p in series.points]
+        errors = [p.error_rate for p in series.points]
+        assert rates[0] > rates[-1]          # bandwidth falls
+        assert errors[-1] <= max(errors)     # error does not grow
+        assert errors[-1] <= 0.1
+
+    def test_multi_tpc_panel_scales_bandwidth(self):
+        single = fig10_panel(
+            small_config(), "tpc", iterations=(4,), bits_per_channel=8
+        )
+        multi = fig10_panel(
+            small_config(), "multi-tpc", iterations=(4,), bits_per_channel=8
+        )
+        assert (
+            multi.points[0].bandwidth_kbps
+            > 2 * single.points[0].bandwidth_kbps
+        )
+
+    def test_unknown_panel_rejected(self):
+        with pytest.raises(ValueError):
+            fig10_panel(small_config(), "warp")
+
+
+class TestFig14:
+    def test_staircase_pattern(self):
+        pattern, trace = fig14_multilevel_trace(small_config(), repeats=4)
+        by_symbol = {}
+        for symbol, value in zip(pattern, trace):
+            by_symbol.setdefault(symbol, []).append(value)
+        means = [
+            sum(by_symbol[s]) / len(by_symbol[s]) for s in sorted(by_symbol)
+        ]
+        assert means == sorted(means)
+
+
+class TestTable2:
+    def test_rows_for_all_four_channels(self):
+        rows = table2_summary(small_config(), bits_per_channel=6)
+        assert len(rows) == 4
+        assert all(row.parallel == "Parallel" for row in rows)
+        assert all(row.locality == "Local" for row in rows)
+        assert all(row.directness == "Direct" for row in rows)
+
+    def test_multi_channel_rows_have_higher_bandwidth(self):
+        rows = table2_summary(small_config(), bits_per_channel=6)
+        by_name = {row.channel: row for row in rows}
+        assert (
+            by_name["GPU TPC Channel (all TPCs)"].bandwidth_mbps
+            > by_name["GPU TPC Channel"].bandwidth_mbps
+        )

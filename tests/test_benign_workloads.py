@@ -1,0 +1,97 @@
+"""Tests for the benign workload suite and the SRR cost spectrum."""
+
+import pytest
+
+from repro.config import small_config
+from repro.defense import srr_workload_cost_study
+from repro.gpu.benign import (
+    BENIGN_WORKLOADS,
+    benign_footprint,
+    make_benign_kernel,
+)
+from repro.gpu.device import GpuDevice
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return small_config(timing_noise=0)
+
+
+def run_workload(cfg, name, ops=12, active_sms=None):
+    device = GpuDevice(cfg)
+    active = active_sms or {0}
+    kernel = make_benign_kernel(cfg, name, ops=ops, active_sms=active)
+    device.preload_region(0, benign_footprint(cfg))
+    for sm in active:
+        device.preload_region(sm * (1 << 16), benign_footprint(cfg))
+    times = device.run_kernels([kernel])
+    return device, kernel, times
+
+
+class TestSuite:
+    def test_registry_names(self):
+        assert {
+            "streaming", "strided", "pointer_chase", "compute",
+            "bursty", "write_stream", "mixed_rw",
+        } == set(BENIGN_WORKLOADS)
+
+    @pytest.mark.parametrize("name", sorted(BENIGN_WORKLOADS))
+    def test_every_workload_completes(self, cfg, name):
+        device, kernel, times = run_workload(cfg, name)
+        assert kernel.done
+        assert times[kernel.name] > 0
+
+    def test_inactive_sms_do_nothing(self, cfg):
+        device, kernel, _ = run_workload(cfg, "streaming", active_sms={3})
+        assert device.stats.counters.get("sm3.mem_ops", 0) > 0
+        assert device.stats.counters.get("sm0.mem_ops", 0) == 0
+
+    def test_compute_is_lighter_than_streaming(self, cfg):
+        _, _, compute_times = run_workload(cfg, "compute", ops=8)
+        device, _, _ = run_workload(cfg, "streaming", ops=8)
+        streaming_txns = device.stats.counters.get("sm0.transactions", 0)
+        device2, _, _ = run_workload(cfg, "compute", ops=8)
+        compute_txns = device2.stats.counters.get("sm0.transactions", 0)
+        assert compute_txns < streaming_txns / 4
+
+    def test_pointer_chase_is_serial(self, cfg):
+        device, _, _ = run_workload(cfg, "pointer_chase", ops=8)
+        # One transaction per op: a dependent chain.
+        assert device.stats.counters.get("sm0.transactions", 0) == 8
+
+    def test_unknown_workload_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            make_benign_kernel(cfg, "nonsense")
+
+
+class TestSrrCostSpectrum:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return srr_workload_cost_study(small_config(), ops=40)
+
+    def test_covers_whole_suite(self, report):
+        assert set(report.slowdowns) == set(BENIGN_WORKLOADS)
+
+    def test_compute_workloads_pay_nothing(self, report):
+        assert report.slowdowns["compute"] == pytest.approx(1.0, abs=0.05)
+        assert report.slowdowns["pointer_chase"] == pytest.approx(
+            1.0, abs=0.05
+        )
+
+    def test_write_stream_pays_the_full_2x(self, report):
+        """Section 6's bound: bandwidth-bound kernels lose ~2x under SRR."""
+        assert report.slowdowns["write_stream"] == pytest.approx(
+            2.0, rel=0.1
+        )
+
+    def test_latency_bound_reads_pay_little(self, report):
+        assert report.slowdowns["streaming"] < 1.3
+
+    def test_ordering_compute_lowest_write_stream_highest(self, report):
+        assert (
+            report.slowdowns["compute"]
+            <= min(report.slowdowns.values()) + 0.05
+        )
+        assert report.slowdowns["write_stream"] == max(
+            report.slowdowns.values()
+        )

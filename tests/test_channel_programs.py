@@ -1,0 +1,168 @@
+"""Fine-grained tests of the Algorithm-2 sender/receiver programs.
+
+These drive the protocol generators directly on a scripted device,
+checking slot-level behaviour the end-to-end tests only observe in
+aggregate: initial synchronization, slot pacing, resync boundaries,
+per-channel staggering, and level modulation.
+"""
+
+import pytest
+
+from repro.config import small_config
+from repro.channel.protocol import (
+    ChannelParams,
+    receiver_program,
+    region_bytes,
+    sender_program,
+)
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import Kernel
+
+LINE = 128
+
+
+def run_pair(config, params, bits, sender_extra=None, receiver_extra=None):
+    """Launch one sender/receiver pair on TPC0 and return measurements."""
+    device = GpuDevice(config)
+    measurements = {}
+    sender_args = {
+        "params": params,
+        "channel_bits": {0: list(bits)},
+        "base_for": {0: 0},
+        "line_bytes": LINE,
+        "levels": None,
+        "channel_of": {0: 0},
+    }
+    receiver_args = {
+        "params": params,
+        "num_symbols": {0: len(bits)},
+        "base_for": {0: 1 << 20},
+        "line_bytes": LINE,
+        "measurements": measurements,
+        "channel_of": {0: 0},
+    }
+    if sender_extra:
+        sender_args.update(sender_extra)
+    if receiver_extra:
+        receiver_args.update(receiver_extra)
+    sender = Kernel(
+        sender_program,
+        num_blocks=config.num_tpcs,
+        warps_per_block=params.sender_warps,
+        args=sender_args,
+        name="s",
+    )
+    receiver = Kernel(
+        receiver_program,
+        num_blocks=config.num_tpcs,
+        warps_per_block=1,
+        args=receiver_args,
+        name="r",
+    )
+    region = region_bytes(params, LINE)
+    device.preload_region(0, params.sender_warps * region)
+    device.preload_region(1 << 20, region)
+    times = device.run_kernels([sender, receiver])
+    series = [measurements.get((0, i), 0.0) for i in range(len(bits))]
+    return series, times
+
+
+@pytest.fixture(scope="module")
+def quiet():
+    return small_config(timing_noise=0)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ChannelParams(threshold=1.0, sync_period=0)
+
+
+class TestSlotBehaviour:
+    def test_every_slot_measured_once(self, quiet, params):
+        bits = [0, 1, 0, 1, 1, 0]
+        series, _ = run_pair(quiet, params, bits)
+        assert len(series) == len(bits)
+        assert all(value > 0 for value in series)
+
+    def test_ones_and_zeros_fully_separable_noise_free(self, quiet, params):
+        bits = [1, 0] * 6
+        series, _ = run_pair(quiet, params, bits)
+        ones = [v for v, b in zip(series, bits) if b]
+        zeros = [v for v, b in zip(series, bits) if not b]
+        assert min(ones) > max(zeros)
+
+    def test_transmission_time_scales_with_payload(self, quiet, params):
+        _, short = run_pair(quiet, params, [1, 0])
+        _, long = run_pair(quiet, params, [1, 0] * 5)
+        assert long["r"] > short["r"] + 5 * params.slot
+
+    def test_inactive_blocks_idle(self, quiet, params):
+        # Blocks without channel_bits entries must finish immediately:
+        # the total runtime equals the single active pair's runtime.
+        bits = [1, 0, 1]
+        _, times = run_pair(quiet, params, bits)
+        assert times["s"] <= times["r"] + params.slot * 2
+
+
+class TestSynchronization:
+    def test_resync_bounds_drift(self, quiet):
+        """With a too-small slot the sender overruns; resync every 4 bits
+        restores the pattern, so late bits still decode."""
+        tight = ChannelParams(
+            threshold=1.0, sync_period=4,
+            slot_cycles=900,
+        )
+        bits = [1, 0] * 8
+        series, _ = run_pair(quiet, tight, bits)
+        late = series[-4:]
+        late_bits = bits[-4:]
+        ones = [v for v, b in zip(late, late_bits) if b]
+        zeros = [v for v, b in zip(late, late_bits) if not b]
+        assert sum(ones) / len(ones) > sum(zeros) / len(zeros)
+
+    def test_stagger_offsets_channels(self, quiet):
+        """Different channel indices shift the sync target: the programs
+        must still pair up within a channel."""
+        params = ChannelParams(threshold=1.0, sync_period=0)
+        bits = [1, 0, 1, 0]
+        series, _ = run_pair(
+            quiet, params, bits,
+            sender_extra={"channel_of": {0: 3}},
+            receiver_extra={"channel_of": {0: 3}},
+        )
+        ones = [v for v, b in zip(series, bits) if b]
+        zeros = [v for v, b in zip(series, bits) if not b]
+        assert min(ones) > max(zeros)
+
+    def test_mismatched_stagger_breaks_pairing(self, quiet):
+        """Sender and receiver disagreeing on the channel index start
+        their slots apart — the contrast collapses (guards against a
+        silent stagger regression)."""
+        params = ChannelParams(threshold=1.0, sync_period=0, stagger=1024)
+        bits = [1, 0] * 4
+        series, _ = run_pair(
+            quiet, params, bits,
+            sender_extra={"channel_of": {0: 0}},
+            receiver_extra={"channel_of": {0: 2}},
+        )
+        ones = [v for v, b in zip(series, bits) if b]
+        zeros = [v for v, b in zip(series, bits) if not b]
+        aligned_contrast = min(ones) - max(zeros)
+        assert aligned_contrast < 100  # no clean separation
+
+
+class TestLevels:
+    def test_level_modulation_orders_latencies(self, quiet):
+        params = ChannelParams(threshold=1.0, sync_period=0)
+        symbols = [0, 1, 2, 3] * 3
+        device_bits = symbols
+        series, _ = run_pair(
+            quiet, params, device_bits,
+            sender_extra={"levels": [0, 8, 16, 32]},
+        )
+        means = {}
+        for symbol, value in zip(symbols, series):
+            means.setdefault(symbol, []).append(value)
+        ordered = [sum(v) / len(v) for _, v in sorted(means.items())]
+        assert ordered == sorted(ordered)
+        assert ordered[3] > ordered[0] * 1.1

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["--scale", "medium", "info"])
+        assert args.scale == "medium"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "huge", "info"])
+
+    def test_fig10_panel_choices(self):
+        args = build_parser().parse_args(
+            ["fig10", "--panel", "multi-tpc", "--iterations", "2", "4"]
+        )
+        assert args.panel == "multi-tpc"
+        assert args.iterations == [2, 4]
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "GPCs" in out
+        assert "TPCs" in out
+
+    def test_transmit_round_trip(self, capsys):
+        assert main(["transmit", "--message", "ok"]) == 0
+        out = capsys.readouterr().out
+        assert "b'ok'" in out
+        assert "error rate" in out
+
+    def test_fig6_runs(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "intra-TPC skew" in out
+
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2", "--ops", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "TPC sibling" in out
+
+    def test_fig10_single_point(self, capsys):
+        assert main(
+            ["fig10", "--panel", "tpc", "--iterations", "4", "--bits", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bit rate" in out

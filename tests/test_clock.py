@@ -1,0 +1,95 @@
+"""Unit tests for the clock-register skew model (Section 4.1 / Figure 6)."""
+
+import pytest
+
+from repro.config import small_config, VOLTA_V100
+from repro.sim.clock import ClockSystem
+from repro.sim.engine import Engine
+
+
+def make_clocks(config, salt=0):
+    return ClockSystem(config, Engine(), seed_salt=salt)
+
+
+class TestSkewStructure:
+    def test_intra_tpc_skew_within_paper_bound(self):
+        clocks = make_clocks(VOLTA_V100)
+        for tpc in range(VOLTA_V100.num_tpcs):
+            a, b = VOLTA_V100.tpc_sms(tpc)
+            assert clocks.skew_between(a, b) <= 5 + VOLTA_V100.clock_skew.sm_jitter
+
+    def test_intra_gpc_skew_within_paper_bound(self):
+        clocks = make_clocks(VOLTA_V100)
+        skew = VOLTA_V100.clock_skew
+        members = VOLTA_V100.gpc_members()
+        bound = skew.tpc_jitter + skew.sm_jitter
+        for tpcs in members.values():
+            sms = [sm for tpc in tpcs for sm in VOLTA_V100.tpc_sms(tpc)]
+            for other in sms[1:]:
+                assert clocks.skew_between(sms[0], other) <= bound
+
+    def test_cross_gpc_offsets_are_huge(self):
+        clocks = make_clocks(VOLTA_V100)
+        members = VOLTA_V100.gpc_members()
+        sm_a = VOLTA_V100.tpc_sms(members[0][0])[0]
+        sm_b = VOLTA_V100.tpc_sms(members[1][0])[0]
+        # Different GPCs started counting ~1e9 cycles apart (Figure 6).
+        assert clocks.skew_between(sm_a, sm_b) > 1_000_000
+
+    def test_base_offsets_deterministic_for_seed(self):
+        a = make_clocks(small_config())
+        b = make_clocks(small_config())
+        for sm in range(small_config().num_sms):
+            assert a.base_offset(sm) == b.base_offset(sm)
+
+    def test_seed_salt_changes_offsets(self):
+        a = make_clocks(small_config(), salt=0)
+        b = make_clocks(small_config(), salt=1)
+        offsets_a = [a.base_offset(sm) for sm in range(8)]
+        offsets_b = [b.base_offset(sm) for sm in range(8)]
+        assert offsets_a != offsets_b
+
+
+class TestReads:
+    def test_read_tracks_engine_cycle(self):
+        config = small_config(
+            clock_skew=small_config().clock_skew.__class__(
+                gpc_base_min=0, gpc_base_max=1, tpc_jitter=0, sm_jitter=0,
+                read_jitter=0,
+            )
+        )
+        engine = Engine()
+        clocks = ClockSystem(config, engine)
+        first = clocks.read(0)
+        engine.step(100)
+        assert clocks.read(0) == first + 100
+
+    def test_read_is_32_bit(self):
+        clocks = make_clocks(VOLTA_V100)
+        for sm in range(0, 80, 17):
+            assert 0 <= clocks.read(sm) <= 0xFFFFFFFF
+
+    def test_read_raw_not_truncated(self):
+        clocks = make_clocks(VOLTA_V100)
+        raw = [clocks.read_raw(sm) for sm in range(80)]
+        assert max(raw) > 0xFFFFFFF  # GPC bases reach into the billions
+
+    def test_read_jitter_bounded(self):
+        config = small_config()
+        engine = Engine()
+        clocks = ClockSystem(config, engine)
+        base = clocks.base_offset(0)
+        jitter = config.clock_skew.read_jitter
+        values = [clocks.read(0) for _ in range(50)]
+        for value in values:
+            assert base <= value <= base + jitter
+
+    def test_clock_fuzz_widens_spread(self):
+        fuzzed = small_config(clock_fuzz=500)
+        engine = Engine()
+        clocks = ClockSystem(fuzzed, engine)
+        base = clocks.base_offset(0)
+        values = [clocks.read(0) for _ in range(200)]
+        spread = max(values) - min(values)
+        assert spread > 100  # far beyond the ±2 read jitter
+        assert all(abs(v - base) <= 502 for v in values)

@@ -1,0 +1,87 @@
+"""Unit and property tests for the memory coalescer (Sections 2.1, 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.coalescer import (
+    coalesce,
+    lane_addresses_coalesced,
+    lane_addresses_partial,
+    lane_addresses_uncoalesced,
+)
+
+LINE = 128
+
+
+class TestCoalesce:
+    def test_same_line_merges_to_one_transaction(self):
+        addresses = lane_addresses_coalesced(0, LINE)
+        assert coalesce(addresses, LINE) == [0]
+
+    def test_distinct_lines_stay_separate(self):
+        addresses = lane_addresses_uncoalesced(0, LINE)
+        transactions = coalesce(addresses, LINE)
+        assert len(transactions) == 32
+        assert transactions == [lane * LINE for lane in range(32)]
+
+    def test_transactions_are_line_aligned(self):
+        transactions = coalesce([5, 131, 999], LINE)
+        assert all(address % LINE == 0 for address in transactions)
+
+    def test_first_touch_order_preserved(self):
+        assert coalesce([300, 10, 290], LINE) == [256, 0]
+
+    def test_empty_access_list(self):
+        assert coalesce([], LINE) == []
+
+
+class TestLaneGenerators:
+    def test_coalesced_pattern_fits_one_line(self):
+        addresses = lane_addresses_coalesced(0, LINE, lanes=32, element_bytes=4)
+        assert len(addresses) == 32
+        assert len(coalesce(addresses, LINE)) == 1
+
+    def test_uncoalesced_stride_spans_lines(self):
+        addresses = lane_addresses_uncoalesced(0, LINE, lanes=8, stride_lines=2)
+        assert addresses == [lane * 256 for lane in range(8)]
+        assert len(coalesce(addresses, LINE)) == 8
+
+    def test_partial_touches_exact_line_count(self):
+        for unique in (1, 8, 16, 32):
+            addresses = lane_addresses_partial(0, LINE, unique, lanes=32)
+            assert len(coalesce(addresses, LINE)) == unique
+
+    def test_partial_bounds_checked(self):
+        with pytest.raises(ValueError):
+            lane_addresses_partial(0, LINE, 0)
+        with pytest.raises(ValueError):
+            lane_addresses_partial(0, LINE, 33)
+
+    def test_base_offset_propagates(self):
+        base = 10 * LINE
+        addresses = lane_addresses_uncoalesced(base, LINE, lanes=4)
+        assert coalesce(addresses, LINE)[0] == base
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=64)
+    )
+    def test_transaction_count_equals_unique_lines(self, addresses):
+        transactions = coalesce(addresses, LINE)
+        assert len(transactions) == len({a // LINE for a in addresses})
+        assert len(set(transactions)) == len(transactions)
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 16),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_partial_density_is_exact(self, base, unique):
+        base_aligned = base * LINE
+        addresses = lane_addresses_partial(base_aligned, LINE, unique)
+        assert len(coalesce(addresses, LINE)) == unique
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=64))
+    def test_coalescing_idempotent(self, addresses):
+        once = coalesce(addresses, LINE)
+        assert coalesce(once, LINE) == once

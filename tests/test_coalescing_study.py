@@ -1,0 +1,52 @@
+"""Tests for the coalescing study (Section 5, Figure 13)."""
+
+import pytest
+
+from repro.config import small_config
+from repro.channel.coalescing import (
+    MATRIX_CELLS,
+    cell_label,
+    run_coalescing_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_coalescing_study(small_config(), payload_bits=40)
+
+
+class TestFigure13:
+    def test_all_four_cells_measured(self, study):
+        assert set(study.error_rates) == set(MATRIX_CELLS)
+
+    def test_coalesced_sender_breaks_channel(self, study):
+        """With one request per warp the contention probability collapses
+        and the channel cannot be established (paper: error > 50%)."""
+        for receiver_coalesced in (True, False):
+            assert study.error_rates[(True, receiver_coalesced)] > 0.25
+
+    def test_fully_uncoalesced_near_error_free(self, study):
+        assert study.error_rates[(False, False)] <= 0.05
+
+    def test_uncoalesced_sender_beats_coalesced_sender(self, study):
+        uncoalesced_sender = min(
+            study.error_rates[(False, True)],
+            study.error_rates[(False, False)],
+        )
+        coalesced_sender = min(
+            study.error_rates[(True, True)],
+            study.error_rates[(True, False)],
+        )
+        assert uncoalesced_sender < coalesced_sender
+
+    def test_uncoalesced_receiver_helps(self, study):
+        assert (
+            study.error_rates[(False, False)]
+            <= study.error_rates[(False, True)]
+        )
+
+    def test_rows_render_labels(self, study):
+        rows = study.rows()
+        assert len(rows) == 4
+        assert rows[0][0] == cell_label(True, True)
+        assert all(0.0 <= rate <= 1.0 for _, rate in rows)

@@ -1,0 +1,117 @@
+"""Tests for the forward-error-correction layer."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import small_config
+from repro.channel.coding import (
+    hamming74_decode,
+    hamming74_encode,
+    repetition_decode,
+    repetition_encode,
+    transmit_coded,
+)
+from repro.channel.protocol import ChannelParams
+from repro.channel.tpc_channel import TpcCovertChannel
+
+
+class TestRepetition:
+    def test_encode_repeats(self):
+        assert repetition_encode([1, 0], 3) == [1, 1, 1, 0, 0, 0]
+
+    def test_decode_majority(self):
+        assert repetition_decode([1, 0, 1, 0, 0, 0], 3) == [1, 0]
+
+    def test_corrects_single_flip_per_group(self):
+        coded = repetition_encode([1, 0, 1], 3)
+        coded[0] ^= 1
+        coded[4] ^= 1
+        assert repetition_decode(coded, 3) == [1, 0, 1]
+
+    def test_even_factor_rejected(self):
+        with pytest.raises(ValueError):
+            repetition_encode([1], 2)
+        with pytest.raises(ValueError):
+            repetition_decode([1, 1], 2)
+
+    @given(
+        st.lists(st.integers(0, 1), max_size=32),
+        st.sampled_from([1, 3, 5]),
+    )
+    def test_round_trip_clean(self, bits, n):
+        assert repetition_decode(repetition_encode(bits, n), n) == bits
+
+
+class TestHamming74:
+    def test_codeword_length(self):
+        assert len(hamming74_encode([1, 0, 1, 1])) == 7
+        assert len(hamming74_encode([1] * 8)) == 14
+
+    def test_clean_round_trip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        assert hamming74_decode(hamming74_encode(bits)) == bits
+
+    def test_corrects_any_single_bit_error(self):
+        bits = [1, 0, 1, 1]
+        coded = hamming74_encode(bits)
+        for position in range(7):
+            corrupted = list(coded)
+            corrupted[position] ^= 1
+            assert hamming74_decode(corrupted) == bits, position
+
+    def test_pads_to_multiple_of_four(self):
+        bits = [1, 0, 1]
+        decoded = hamming74_decode(hamming74_encode(bits))
+        assert decoded[:3] == bits
+
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=40))
+    def test_round_trip_property(self, bits):
+        decoded = hamming74_decode(hamming74_encode(bits))
+        assert decoded[: len(bits)] == bits
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=4, max_size=4),
+        st.integers(0, 6),
+    )
+    def test_single_error_always_corrected(self, data, flip):
+        coded = hamming74_encode(data)
+        coded[flip] ^= 1
+        assert hamming74_decode(coded) == data
+
+
+class TestCodedTransmission:
+    @pytest.fixture(scope="class")
+    def noisy_channel(self):
+        # Iterations=1 on a noisy machine: meaningfully error-prone raw.
+        config = small_config(timing_noise=160)
+        channel = TpcCovertChannel(
+            config, params=ChannelParams(iterations=1)
+        )
+        channel.calibrate(training_symbols=24)
+        return channel
+
+    def test_coding_reduces_error_rate(self, noisy_channel):
+        rng = random.Random(3)
+        payload = [rng.randint(0, 1) for _ in range(40)]
+        uncoded = transmit_coded(noisy_channel, payload, scheme="none")
+        repetition = transmit_coded(
+            noisy_channel, payload, scheme="repetition", repetition=3
+        )
+        assert repetition.decoded_error_rate <= uncoded.decoded_error_rate
+        assert repetition.code_rate == pytest.approx(1 / 3)
+
+    def test_hamming_effective_bandwidth_accounts_rate(self, noisy_channel):
+        rng = random.Random(5)
+        payload = [rng.randint(0, 1) for _ in range(24)]
+        coded = transmit_coded(noisy_channel, payload, scheme="hamming74")
+        assert coded.code_rate == pytest.approx(4 / 7)
+        assert coded.effective_bandwidth_mbps == pytest.approx(
+            coded.raw.bandwidth_mbps * 4 / 7
+        )
+        assert len(coded.decoded_bits) == len(payload)
+
+    def test_unknown_scheme_rejected(self, noisy_channel):
+        with pytest.raises(ValueError):
+            transmit_coded(noisy_channel, [1, 0], scheme="turbo")

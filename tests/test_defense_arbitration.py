@@ -1,0 +1,78 @@
+"""Tests for the secure-arbitration countermeasures (Section 6, Fig 15)."""
+
+import pytest
+
+from repro.config import small_config
+from repro.defense.arbitration_study import (
+    arbitration_leakage_sweep,
+    covert_channel_under_policy,
+    srr_performance_cost,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return small_config(timing_noise=0)
+
+
+@pytest.fixture(scope="module")
+def sweep(cfg):
+    return arbitration_leakage_sweep(
+        cfg, fractions=(0.0, 0.25, 0.5, 0.75, 1.0), ops=10
+    )
+
+
+class TestFigure15:
+    def test_rr_leaks_linearly(self, sweep):
+        assert sweep.slope("rr") > 0.6
+
+    def test_crr_still_leaks(self, sweep):
+        """Coarse-grain arbitration does not mitigate the channel."""
+        assert sweep.slope("crr") > 0.4
+
+    def test_srr_is_flat(self, sweep):
+        assert abs(sweep.slope("srr")) < 0.05
+        series = sweep.series["srr"]
+        assert max(series) - min(series) < 0.05
+
+    def test_rr_reaches_2x_at_full_contention(self, sweep):
+        assert sweep.series["rr"][-1] == pytest.approx(2.0, rel=0.15)
+
+    def test_all_policies_share_baseline(self, sweep):
+        for policy in ("rr", "crr", "srr"):
+            assert sweep.series[policy][0] == pytest.approx(1.0, rel=0.02)
+
+
+class TestEndToEndDefense:
+    def test_srr_defeats_covert_channel(self):
+        outcome = covert_channel_under_policy(
+            small_config(), "srr", payload_bits=40
+        )
+        assert outcome.channel_defeated
+        assert outcome.error_rate > 0.25
+
+    def test_rr_permits_covert_channel(self):
+        outcome = covert_channel_under_policy(
+            small_config(), "rr", payload_bits=40
+        )
+        assert not outcome.channel_defeated
+        assert outcome.error_rate <= 0.05
+
+    def test_age_based_does_not_mitigate(self):
+        """Global fairness is not isolation (Section 6)."""
+        outcome = covert_channel_under_policy(
+            small_config(), "age", payload_bits=40
+        )
+        assert not outcome.channel_defeated
+
+
+class TestSrrCost:
+    def test_memory_intensive_pays_up_to_2x(self, cfg):
+        report = srr_performance_cost(cfg, ops=10)
+        assert report.slowdowns["memory-intensive"] == pytest.approx(
+            2.0, rel=0.15
+        )
+
+    def test_compute_intensive_barely_affected(self, cfg):
+        report = srr_performance_cost(cfg, ops=10)
+        assert report.slowdowns["compute-intensive"] < 1.25

@@ -1,0 +1,99 @@
+"""Tests for clock fuzzing and partitioning defenses (Section 6)."""
+
+import pytest
+
+from repro.config import small_config
+from repro.defense.clock_fuzz import run_clock_fuzz_study
+from repro.defense.partition import (
+    colocation_blocked,
+    cross_instance_channel_possible,
+    make_mig_partition,
+    partition_utilization,
+    temporal_partition,
+)
+
+
+class TestClockFuzz:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_clock_fuzz_study(
+            small_config(),
+            amplitudes=(0, 32, 8192),
+            payload_bits=32,
+        )
+
+    def test_no_fuzz_channel_works(self, study):
+        assert study.error_rates[0] <= 0.05
+
+    def test_small_fuzz_tolerated(self, study):
+        """Tens of cycles of fuzz are absorbed by the coarse resync —
+        clock fuzzing is a weak defense (Section 6)."""
+        assert study.error_rates[1] <= 0.15
+
+    def test_huge_fuzz_breaks_synchronization(self, study):
+        # Fuzz on the order of the sync period defeats slot alignment.
+        assert study.error_rates[2] > 0.2
+
+    def test_breaking_amplitude_reported(self, study):
+        assert study.breaking_amplitude(error_limit=0.2) == 8192
+
+    def test_breaking_amplitude_none_when_robust(self, study):
+        assert study.breaking_amplitude(error_limit=1.1) is None
+
+
+class TestMigPartition:
+    def test_partition_covers_all_gpcs(self):
+        cfg = small_config()
+        instances = make_mig_partition(cfg, gpcs_per_instance=1)
+        gpcs = [g for inst in instances for g in inst.gpcs]
+        assert sorted(gpcs) == list(range(cfg.num_gpcs))
+
+    def test_cross_instance_channel_impossible(self):
+        cfg = small_config()
+        instances = make_mig_partition(cfg, gpcs_per_instance=1)
+        assert not cross_instance_channel_possible(cfg, instances, 0, 1)
+
+    def test_same_instance_channel_still_possible(self):
+        """The paper's MIG caveat: MPS within one instance remains
+        attackable."""
+        cfg = small_config()
+        instances = make_mig_partition(cfg, gpcs_per_instance=1)
+        assert cross_instance_channel_possible(cfg, instances, 0, 0)
+
+    def test_instance_tpcs_resolve(self):
+        cfg = small_config()
+        instances = make_mig_partition(cfg, gpcs_per_instance=1)
+        members = cfg.gpc_members()
+        assert instances[0].tpcs(cfg) == members[0]
+
+    def test_invalid_instance_size(self):
+        with pytest.raises(ValueError):
+            make_mig_partition(small_config(), gpcs_per_instance=0)
+
+
+class TestTemporalPartition:
+    def test_tpc_level_plan_blocks_colocation(self):
+        cfg = small_config()
+        plan = temporal_partition(cfg, ["trojan", "spy"], level="tpc")
+        assert not plan.shares_tpc()
+        assert colocation_blocked(cfg, plan, "trojan", "spy")
+
+    def test_gpc_level_plan(self):
+        cfg = small_config()
+        plan = temporal_partition(cfg, ["a", "b"], level="gpc")
+        assert colocation_blocked(cfg, plan, "a", "b")
+
+    def test_utilization_cost(self):
+        """The paper's downside: partitioning halves concurrency."""
+        cfg = small_config()
+        plan = temporal_partition(cfg, ["a", "b"], level="tpc")
+        assert partition_utilization(cfg, plan, "a") == pytest.approx(0.5)
+
+    def test_single_kernel_keeps_whole_gpu(self):
+        cfg = small_config()
+        plan = temporal_partition(cfg, ["only"], level="tpc")
+        assert partition_utilization(cfg, plan, "only") == 1.0
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            temporal_partition(small_config(), ["a"], level="sm")

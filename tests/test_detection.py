@@ -1,0 +1,106 @@
+"""Tests for the GPUGuard-style contention-anomaly detector."""
+
+import pytest
+
+from repro.config import small_config
+from repro.defense.detection import (
+    DetectorModel,
+    TpcTelemetry,
+    benign_trace,
+    covert_channel_trace,
+    run_detection_study,
+    train_detector,
+)
+from repro.gpu.benign import BENIGN_WORKLOADS, make_benign_kernel
+
+
+class TestTelemetryFeatures:
+    def test_empty_trace_features_zero(self):
+        trace = TpcTelemetry(tpc=0, subwindow_cycles=128)
+        features = trace.features()
+        assert all(value == 0.0 for value in features.values())
+
+    def test_constant_traffic_low_burstiness(self):
+        trace = TpcTelemetry(0, 128, flits=[40] * 16)
+        features = trace.features()
+        assert features["duty"] == 1.0
+        assert features["burstiness"] == pytest.approx(0.0)
+        assert features["transitions"] == 0.0
+
+    def test_on_off_traffic_is_bimodal_and_bursty(self):
+        trace = TpcTelemetry(0, 128, flits=[100, 0, 100, 0, 100, 0, 100, 0])
+        features = trace.features()
+        assert features["bimodality"] == pytest.approx(1.0)
+        assert features["transitions"] == 1.0
+        assert features["burstiness"] > 10
+        assert features["duty"] == 0.5
+
+    def test_idle_trace(self):
+        trace = TpcTelemetry(0, 128, flits=[0] * 10)
+        features = trace.features()
+        assert features["duty"] == 0.0
+        assert features["bimodality"] == 0.0
+
+
+class TestClassifier:
+    def test_training_learns_separating_stump(self):
+        covert = [{"x": 10.0, "y": 0.1}, {"x": 12.0, "y": 0.2}]
+        benign = [{"x": 1.0, "y": 0.15}, {"x": 2.0, "y": 0.12}]
+        model = train_detector(covert, benign, max_stumps=1)
+        assert "x" in model.stumps
+        assert model.classify({"x": 11.0, "y": 0.1})
+        assert not model.classify({"x": 0.5, "y": 0.1})
+
+    def test_votes_needed_majority(self):
+        model = DetectorModel(
+            stumps={"a": (1.0, 1), "b": (1.0, 1), "c": (1.0, 1)},
+            votes_needed=2,
+        )
+        assert model.classify({"a": 2.0, "b": 2.0, "c": 0.0})
+        assert not model.classify({"a": 2.0, "b": 0.0, "c": 0.0})
+
+    def test_training_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            train_detector([], [{"x": 1.0}])
+
+
+class TestTraces:
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        return small_config()
+
+    def test_covert_trace_is_bursty_and_bimodal(self, cfg):
+        features = covert_channel_trace(cfg, seed=1)
+        assert features["burstiness"] > 30
+        assert features["bimodality"] > 0.3
+        assert 0.2 < features["duty"] < 0.95
+
+    def test_streaming_trace_is_steady(self, cfg):
+        features = benign_trace(cfg, "streaming", seed=1)
+        assert features["duty"] > 0.9
+        assert features["burstiness"] < 10
+
+    def test_unknown_workload_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            make_benign_kernel(cfg, "bitcoin-miner")
+
+    def test_all_registered_workloads_run(self, cfg):
+        for workload in sorted(BENIGN_WORKLOADS):
+            features = benign_trace(
+                cfg, workload, seed=2, observe_cycles=8_000
+            )
+            assert set(features) == {
+                "duty", "burstiness", "transitions", "bimodality"
+            }
+
+
+class TestEndToEndStudy:
+    def test_detector_flags_covert_and_spares_benign(self):
+        report = run_detection_study(
+            small_config(),
+            train_seeds=(1, 2),
+            test_seeds=(11, 12),
+        )
+        assert report.detection_rate >= 0.5
+        assert report.false_positive_rate <= 0.25
+        assert report.covert_total == 2

@@ -1,0 +1,150 @@
+"""Integration tests for the assembled GPU device."""
+
+import pytest
+
+from repro.config import small_config
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import Kernel
+from repro.gpu.warp import MemOp, WaitCycles, READ, WRITE
+from repro.gpu.coalescer import lane_addresses_uncoalesced
+
+LINE = 128
+
+
+class TestRunInterface:
+    def test_run_kernels_reports_completion_cycles(self, quiet_cfg):
+        device = GpuDevice(quiet_cfg)
+        device.preload_region(0, 4096)
+
+        def program(ctx):
+            yield MemOp(READ, [0])
+
+        times = device.run_kernels([Kernel(program, num_blocks=1, name="k")])
+        assert times["k"] > quiet_cfg.l2_latency
+
+    def test_run_times_out_on_stuck_kernel(self, quiet_cfg):
+        device = GpuDevice(quiet_cfg)
+
+        def forever(ctx):
+            while True:
+                yield WaitCycles(64)
+
+        device.launch(Kernel(forever, num_blocks=1, name="stuck"))
+        with pytest.raises(TimeoutError):
+            device.run(max_cycles=2000)
+
+    def test_multiple_kernels_complete(self, quiet_cfg):
+        device = GpuDevice(quiet_cfg)
+        device.preload_region(0, 8192)
+
+        def program(ctx):
+            yield MemOp(READ, [ctx.block_id * LINE])
+
+        kernels = [
+            Kernel(program, num_blocks=2, name=f"k{i}") for i in range(3)
+        ]
+        times = device.run_kernels(kernels)
+        assert set(times) == {"k0", "k1", "k2"}
+
+    def test_smid_of_block(self, quiet_cfg):
+        device = GpuDevice(quiet_cfg)
+
+        def program(ctx):
+            yield WaitCycles(8)
+
+        kernel = Kernel(program, num_blocks=1, name="k")
+        device.run_kernels([kernel])
+        assert device.smid_of_block(kernel, 0) == 0
+
+
+class TestPreload:
+    def test_preload_region_installs_all_lines(self, quiet_cfg):
+        device = GpuDevice(quiet_cfg)
+        device.preload_region(0, 64 * LINE)
+        for index in range(64):
+            address = index * LINE
+            slice_id = quiet_cfg.address_to_slice(address)
+            assert device.l2_slices[slice_id].resident(address)
+
+    def test_preload_unaligned_base_covers_range(self, quiet_cfg):
+        device = GpuDevice(quiet_cfg)
+        device.preload_region(LINE + 8, 2 * LINE)
+        for address in (LINE, 2 * LINE, 3 * LINE):
+            slice_id = quiet_cfg.address_to_slice(address)
+            assert device.l2_slices[slice_id].resident(address)
+
+
+class TestDeterminism:
+    def _trace(self, seed_salt=0):
+        config = small_config()
+        device = GpuDevice(config, seed_salt=seed_salt)
+        device.preload_region(0, 64 * LINE)
+        latencies = []
+
+        def program(ctx):
+            for op in range(6):
+                latencies.append(
+                    (
+                        yield MemOp(
+                            READ,
+                            lane_addresses_uncoalesced(0, LINE, lanes=8),
+                        )
+                    )
+                )
+
+        device.run_kernels([Kernel(program, num_blocks=1, name="k")])
+        return latencies
+
+    def test_same_seed_bit_identical(self):
+        assert self._trace() == self._trace()
+
+    def test_seed_salt_changes_noise(self):
+        assert self._trace(0) != self._trace(7)
+
+
+class TestEndToEndTraffic:
+    def test_reads_and_writes_coexist(self, quiet_cfg):
+        device = GpuDevice(quiet_cfg)
+        device.preload_region(0, 128 * LINE)
+
+        def reader(ctx):
+            for op in range(4):
+                yield MemOp(READ, lane_addresses_uncoalesced(0, LINE, lanes=8))
+
+        def writer(ctx):
+            for op in range(4):
+                yield MemOp(
+                    WRITE,
+                    lane_addresses_uncoalesced(64 * LINE, LINE, lanes=8),
+                )
+
+        times = device.run_kernels(
+            [
+                Kernel(reader, num_blocks=1, name="r"),
+                Kernel(writer, num_blocks=1, name="w"),
+            ]
+        )
+        assert times["r"] > 0 and times["w"] > 0
+
+    def test_miss_traffic_reaches_dram(self, quiet_cfg):
+        device = GpuDevice(quiet_cfg)  # nothing preloaded
+
+        def program(ctx):
+            yield MemOp(READ, [0])
+
+        device.run_kernels([Kernel(program, num_blocks=1, name="k")])
+        mc_requests = sum(
+            value
+            for key, value in device.stats.counters.items()
+            if key.startswith("mc") and key.endswith(".requests")
+        )
+        assert mc_requests == 1
+
+    def test_engine_component_count_scales_with_config(self):
+        small_device = GpuDevice(small_config())
+        from repro.config import VOLTA_V100
+
+        big_device = GpuDevice(VOLTA_V100)
+        assert len(big_device.engine.components) > len(
+            small_device.engine.components
+        )

@@ -1,0 +1,99 @@
+"""Unit tests for the HBM2-timing memory controller."""
+
+import pytest
+
+from repro.config import DramTiming
+from repro.gpu.dram import MemoryController
+
+
+class Collector:
+    def __init__(self):
+        self.completed = []
+
+    def __call__(self, token, cycle):
+        self.completed.append((token, cycle))
+
+
+def make_mc():
+    done = Collector()
+    mc = MemoryController("mc0", DramTiming(), on_complete=done)
+    return mc, done
+
+
+def run(mc, cycles, start=0):
+    for cycle in range(start, start + cycles):
+        mc.tick(cycle)
+    return start + cycles
+
+
+class TestTiming:
+    def test_first_access_uses_activation_latency(self):
+        mc, done = make_mc()
+        mc.enqueue(0, False, "a")
+        run(mc, 400)
+        assert len(done.completed) == 1
+        token, cycle = done.completed[0]
+        timing = DramTiming()
+        expected = (
+            timing.t_rcd + timing.t_cl + MemoryController.BURST_CYCLES
+            + timing.t_overhead
+        )
+        assert cycle == expected
+
+    def test_row_hit_faster_than_row_miss(self):
+        timing = DramTiming()
+        # Same row twice: second access is a row hit.
+        mc, done = make_mc()
+        mc.enqueue(0, False, "a")
+        mc.enqueue(64, False, "b")
+        run(mc, 800)
+        hit_delta = done.completed[1][1] - done.completed[0][1]
+        # Different rows in the same bank: row miss is slower.
+        mc2, done2 = make_mc()
+        row_bytes = MemoryController.ROW_BYTES
+        banks = MemoryController.NUM_BANKS
+        mc2.enqueue(0, False, "a")
+        mc2.enqueue(row_bytes * banks, False, "b")  # same bank, new row
+        run(mc2, 900)
+        miss_delta = done2.completed[1][1] - done2.completed[0][1]
+        assert miss_delta > hit_delta
+
+    def test_fifo_completion_order_same_bank(self):
+        mc, done = make_mc()
+        for index in range(4):
+            mc.enqueue(index * 64, False, index)
+        run(mc, 1600)
+        assert [token for token, _ in done.completed] == [0, 1, 2, 3]
+
+    def test_pending_counts_queued_and_in_flight(self):
+        mc, done = make_mc()
+        mc.enqueue(0, False, "a")
+        mc.enqueue(64, False, "b")
+        assert mc.pending() == 2
+        run(mc, 5)
+        assert mc.pending() >= 1
+        run(mc, 1200, start=5)
+        assert mc.pending() == 0
+
+    def test_row_hit_statistics(self):
+        from repro.sim.stats import StatsRegistry
+
+        stats = StatsRegistry()
+        mc = MemoryController(
+            "mc0", DramTiming(), on_complete=lambda t, c: None, stats=stats
+        )
+        mc.enqueue(0, False, "a")
+        mc.enqueue(64, False, "b")
+        for cycle in range(800):
+            mc.tick(cycle)
+        assert stats.counters["mc0.requests"] == 2
+        assert stats.counters["mc0.row_hits"] == 1
+
+    def test_reset_clears_state(self):
+        mc, done = make_mc()
+        mc.enqueue(0, False, "a")
+        run(mc, 3)
+        mc.reset()
+        assert mc.pending() == 0
+        run(mc, 900, start=3)
+        assert not done.completed

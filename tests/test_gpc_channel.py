@@ -1,0 +1,94 @@
+"""End-to-end tests of the GPC covert channel (Section 4.5)."""
+
+import random
+
+import pytest
+
+from repro.config import medium_config
+from repro.channel.gpc_channel import GpcCovertChannel
+from repro.channel.protocol import ChannelParams
+from repro.noc.packet import READ
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return medium_config()
+
+
+@pytest.fixture(scope="module")
+def calibrated(cfg):
+    channel = GpcCovertChannel(cfg)
+    channel.calibrate()
+    return channel
+
+
+def random_bits(count, seed=23):
+    rng = random.Random(seed)
+    return [rng.randint(0, 1) for _ in range(count)]
+
+
+class TestRoles:
+    def test_default_uses_read_requests(self, cfg):
+        channel = GpcCovertChannel(cfg)
+        assert channel.params.sender_kind == READ
+
+    def test_gpc_slot_longer_than_tpc_slot(self, cfg):
+        from repro.channel.tpc_channel import TpcCovertChannel
+
+        gpc = GpcCovertChannel(cfg)
+        tpc = TpcCovertChannel(cfg)
+        assert gpc.params.slot > tpc.params.slot
+
+    def test_sender_blocks_cover_other_tpcs_of_gpc(self, cfg):
+        channel = GpcCovertChannel(cfg, gpcs=[0])
+        senders, receivers = channel._role_blocks()
+        members = cfg.gpc_members()[0]
+        sender_tpcs = {channel._block_tpcs[b] for b in senders}
+        receiver_tpcs = {channel._block_tpcs[b] for b in receivers}
+        assert receiver_tpcs == {members[0]}
+        assert sender_tpcs == set(members[1:])
+
+    def test_unknown_gpc_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            GpcCovertChannel(cfg, gpcs=[17])
+
+
+class TestTransmission:
+    def test_random_payload_low_error(self, calibrated):
+        result = calibrated.transmit(random_bits(32))
+        assert result.error_rate <= 0.1
+
+    def test_contention_contrast_visible(self, calibrated):
+        bits = [0, 1, 0, 1, 1, 0, 0, 1]
+        result = calibrated.transmit(bits)
+        series = result.measurements[0]
+        ones = [v for v, b in zip(series, bits) if b]
+        zeros = [v for v, b in zip(series, bits) if not b]
+        assert sum(ones) / len(ones) > 1.2 * sum(zeros) / len(zeros)
+
+    def test_gpc_bandwidth_below_tpc_bandwidth(self, cfg, calibrated):
+        """Figure 10: the GPC channel is slower than the TPC channel."""
+        from repro.channel.tpc_channel import TpcCovertChannel
+
+        bits = random_bits(24)
+        tpc = TpcCovertChannel(cfg)
+        tpc.calibrate()
+        assert (
+            calibrated.transmit(bits).bandwidth_mbps
+            < tpc.transmit(bits).bandwidth_mbps
+        )
+
+
+class TestMultiGpc:
+    def test_all_channels_one_per_gpc(self, cfg):
+        channel = GpcCovertChannel.all_channels(cfg)
+        assert channel.num_channels == cfg.num_gpcs
+
+    def test_multi_gpc_aggregates_bandwidth(self, cfg, calibrated):
+        multi = GpcCovertChannel.all_channels(cfg)
+        multi.calibrate()
+        bits = random_bits(12 * cfg.num_gpcs)
+        result = multi.transmit(bits)
+        single = calibrated.transmit(random_bits(12))
+        assert result.bandwidth_mbps > single.bandwidth_mbps
+        assert result.error_rate <= 0.15

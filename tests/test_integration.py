@@ -1,0 +1,103 @@
+"""Cross-module integration tests: the full attack pipeline end-to-end."""
+
+import random
+
+import pytest
+
+from repro.config import small_config
+from repro.channel.tpc_channel import TpcCovertChannel
+from repro.channel.protocol import ChannelParams
+from repro.reveng.colocation import plan_tpc_colocation
+from repro.reveng.tpc_discovery import recover_tpc_pairs
+
+
+class TestAttackPipeline:
+    """The complete attack as the paper stages it: reverse-engineer the
+    topology, verify co-location, then exfiltrate data."""
+
+    def test_reveng_then_transmit(self):
+        cfg = small_config()
+        # Step 1: recover TPC pairs (Section 3.2).
+        pairs = recover_tpc_pairs(cfg, ops=8)
+        assert len(pairs) == cfg.num_tpcs
+        # Step 2: co-locate via the thread-block scheduler (Section 4.3).
+        plan = plan_tpc_colocation(cfg)
+        assert plan.num_channels == cfg.num_tpcs
+        # Step 3: exfiltrate a secret (Section 4.4).
+        channel = TpcCovertChannel(cfg)
+        channel.calibrate()
+        secret = b"\xde\xad"
+        result = channel.transmit_bytes(secret)
+        assert result.error_rate <= 0.07
+
+    def test_exfiltrate_ascii_message(self):
+        cfg = small_config()
+        channel = TpcCovertChannel.all_channels(cfg)
+        channel.calibrate()
+        message = b"hi"
+        result = channel.transmit_bytes(message)
+        # Reassemble the received bits into bytes.
+        received = 0
+        for bit in result.received_symbols:
+            received = (received << 1) | bit
+        recovered = received.to_bytes(len(message), "big")
+        errors = sum(
+            bin(a ^ b).count("1") for a, b in zip(message, recovered)
+        )
+        assert errors <= 1
+
+    def test_noise_free_machine_is_error_free(self):
+        cfg = small_config(timing_noise=0)
+        channel = TpcCovertChannel(cfg)
+        channel.calibrate()
+        rng = random.Random(3)
+        bits = [rng.randint(0, 1) for _ in range(64)]
+        result = channel.transmit(bits)
+        assert result.error_rate == 0.0
+
+    def test_noise_floor_raises_low_iteration_error(self):
+        """Figure 10's mechanism: iterations average out machine noise."""
+        noisy = small_config(timing_noise=160)
+        rng = random.Random(5)
+        bits = [rng.randint(0, 1) for _ in range(64)]
+        errors = {}
+        for iterations in (1, 5):
+            channel = TpcCovertChannel(
+                noisy, params=ChannelParams(iterations=iterations)
+            )
+            channel.calibrate(training_symbols=24)
+            errors[iterations] = channel.transmit(bits).error_rate
+        assert errors[1] > errors[5]
+
+    def test_channel_subset_selection(self):
+        cfg = small_config()
+        channel = TpcCovertChannel(cfg, channels=[1, 3])
+        channel.calibrate()
+        rng = random.Random(9)
+        bits = [rng.randint(0, 1) for _ in range(24)]
+        result = channel.transmit(bits)
+        assert channel.num_channels == 2
+        assert result.error_rate <= 0.1
+
+
+class TestThirdKernelNoise:
+    """Section 5 'Impact of Noise': an L2-thrashing third kernel pushes
+    the channel's working set to DRAM and destroys it."""
+
+    def _channel_error(self, config) -> float:
+        channel = TpcCovertChannel(config, channels=[0])
+        channel.calibrate()
+        rng = random.Random(11)
+        bits = [rng.randint(0, 1) for _ in range(32)]
+        return channel.transmit(bits).error_rate
+
+    def test_l2_capacity_pressure_degrades_channel(self):
+        """When the channel's lines cannot stay L2-resident (the effect a
+        thrashing third kernel induces), probes detour to DRAM and the
+        noise floor swamps the contention signal."""
+        clean = self._channel_error(small_config())
+        starved = self._channel_error(
+            small_config(l2_slice_bytes=2048, num_l2_slices=8, l2_ways=2)
+        )
+        assert clean <= 0.05
+        assert starved > clean

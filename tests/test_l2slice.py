@@ -1,0 +1,165 @@
+"""Unit tests for L2 slices: hit path, miss path, slice-local indexing."""
+
+import pytest
+
+from repro.config import small_config
+from repro.gpu.dram import MemoryController
+from repro.gpu.l2slice import L2Slice
+from repro.noc.buffer import PacketQueue
+from repro.noc.packet import Packet, READ, WRITE
+
+LINE = 128
+
+
+def make_slice(config=None, with_mc=False, slice_id=0, write_done=None):
+    config = config or small_config(timing_noise=0)
+    request_queue = PacketQueue("req", 256)
+    reply_queue = PacketQueue("rep", 1024)
+    controller = None
+    if with_mc:
+        controller = MemoryController(
+            "mc", config.dram,
+            on_complete=lambda token, cycle: token[0].dram_complete(
+                token[1], cycle
+            ),
+        )
+    l2 = L2Slice(
+        slice_id, config, request_queue, reply_queue,
+        controller=controller, write_done=write_done,
+    )
+    return l2, request_queue, reply_queue, controller
+
+
+def read_packet(address, slice_id=0):
+    return Packet(
+        kind=READ, address=address, flits=1, src_sm=0, slice_id=slice_id
+    )
+
+
+class TestHitPath:
+    def test_preloaded_read_replies_after_pipeline_latency(self):
+        config = small_config(timing_noise=0)
+        l2, req, rep, _ = make_slice(config)
+        l2.preload(0)
+        req.push(read_packet(0))
+        for cycle in range(config.l2_latency):
+            l2.tick(cycle)
+        assert len(rep) == 0
+        l2.tick(config.l2_latency)
+        l2.tick(config.l2_latency + 1)
+        assert len(rep) == 1
+
+    def test_reply_carries_read_reply_flits(self):
+        config = small_config(timing_noise=0)
+        l2, req, rep, _ = make_slice(config)
+        l2.preload(0)
+        req.push(read_packet(0))
+        for cycle in range(config.l2_latency + 2):
+            l2.tick(cycle)
+        reply = rep.pop()
+        assert reply.is_reply
+        assert reply.flits == config.read_reply_flits
+
+    def test_ports_limit_acceptance_rate(self):
+        config = small_config(timing_noise=0, l2_ports=1)
+        l2, req, rep, _ = make_slice(config)
+        for index in range(3):
+            l2.preload(index * LINE * config.num_l2_slices)
+            req.push(read_packet(index * LINE * config.num_l2_slices))
+        l2.tick(0)
+        assert len(req) == 2  # one accepted per cycle
+
+    def test_posted_write_completes_via_callback(self):
+        done = []
+        config = small_config(timing_noise=0)
+        l2, req, rep, _ = make_slice(
+            config, write_done=lambda packet, cycle: done.append(cycle)
+        )
+        l2.preload(0)
+        req.push(
+            Packet(kind=WRITE, address=0, flits=4, src_sm=0, slice_id=0)
+        )
+        for cycle in range(config.l2_latency + 2):
+            l2.tick(cycle)
+        assert len(done) == 1
+        assert len(rep) == 0  # no reply packet for posted writes
+
+
+class TestMissPath:
+    def test_miss_goes_to_dram_and_fills(self):
+        config = small_config(timing_noise=0)
+        l2, req, rep, mc = make_slice(config, with_mc=True)
+        req.push(read_packet(0))
+        for cycle in range(400):
+            l2.tick(cycle)
+            mc.tick(cycle)
+        assert len(rep) == 1
+        assert l2.resident(0)
+
+    def test_miss_slower_than_hit(self):
+        config = small_config(timing_noise=0)
+
+        def time_to_reply(preloaded):
+            l2, req, rep, mc = make_slice(config, with_mc=True)
+            if preloaded:
+                l2.preload(0)
+            req.push(read_packet(0))
+            for cycle in range(1000):
+                l2.tick(cycle)
+                mc.tick(cycle)
+                if rep:
+                    return cycle
+            raise AssertionError("no reply")
+
+        # The DRAM detour (row activation + burst) adds latency on top of
+        # whatever the pipeline costs.
+        assert time_to_reply(False) > time_to_reply(True) - config.l2_latency
+
+    def test_no_controller_means_everything_hits(self):
+        config = small_config(timing_noise=0)
+        l2, req, rep, _ = make_slice(config, with_mc=False)
+        req.push(read_packet(0))  # not preloaded
+        for cycle in range(config.l2_latency + 2):
+            l2.tick(cycle)
+        assert len(rep) == 1
+
+
+class TestSliceLocalIndexing:
+    def test_lines_of_one_slice_use_distinct_sets(self):
+        """Regression: slice-interleaving bits must not alias every line
+        a slice owns into a single cache set."""
+        config = small_config(timing_noise=0)
+        l2, req, rep, _ = make_slice(config)
+        num_slices = config.num_l2_slices
+        # Preload many lines that all belong to slice 0.
+        count = config.l2_ways * 4
+        for index in range(count):
+            l2.preload(index * LINE * num_slices)
+        resident = sum(
+            1 for index in range(count)
+            if l2.resident(index * LINE * num_slices)
+        )
+        assert resident == count
+
+    def test_reply_backpressure_stalls_pipeline(self):
+        config = small_config(timing_noise=0)
+        request_queue = PacketQueue("req", 256)
+        reply_queue = PacketQueue("rep", config.read_reply_flits)  # 1 reply
+        l2 = L2Slice(0, config, request_queue, reply_queue)
+        l2.preload(0)
+        l2.preload(LINE * config.num_l2_slices)
+        request_queue.push(read_packet(0))
+        request_queue.push(read_packet(LINE * config.num_l2_slices))
+        for cycle in range(config.l2_latency + 10):
+            l2.tick(cycle)
+        assert len(reply_queue) == 1  # second reply blocked
+        reply_queue.pop()
+        l2.tick(config.l2_latency + 11)
+        assert len(reply_queue) == 1
+
+    def test_reset(self):
+        config = small_config(timing_noise=0)
+        l2, req, rep, _ = make_slice(config)
+        l2.preload(0)
+        l2.reset()
+        assert not l2.resident(0)

@@ -1,0 +1,107 @@
+"""Unit and property tests for channel metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import small_config
+from repro.channel.metrics import (
+    TransmissionResult,
+    bit_error_rate,
+    channel_capacity_per_symbol,
+)
+
+
+class TestBitErrorRate:
+    def test_identical_streams(self):
+        assert bit_error_rate([1, 0, 1], [1, 0, 1]) == 0.0
+
+    def test_all_wrong(self):
+        assert bit_error_rate([1, 1], [0, 0]) == 1.0
+
+    def test_partial_errors(self):
+        assert bit_error_rate([1, 0, 1, 0], [1, 1, 1, 0]) == 0.25
+
+    def test_length_mismatch_counts_as_errors(self):
+        assert bit_error_rate([1, 0, 1], [1]) == pytest.approx(2 / 3)
+
+    def test_empty_streams(self):
+        assert bit_error_rate([], []) == 0.0
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=64),
+        st.lists(st.integers(0, 1), min_size=1, max_size=64),
+    )
+    def test_bounds_and_symmetry(self, sent, received):
+        rate = bit_error_rate(sent, received)
+        assert 0.0 <= rate <= 1.0
+        if len(sent) == len(received):
+            assert rate == bit_error_rate(received, sent)
+
+
+class TestCapacity:
+    def test_perfect_channel_full_capacity(self):
+        assert channel_capacity_per_symbol(0.0) == 1.0
+        assert channel_capacity_per_symbol(0.0, levels=4) == 2.0
+
+    def test_random_channel_zero_capacity(self):
+        assert channel_capacity_per_symbol(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_capacity_decreases_with_error(self):
+        capacities = [
+            channel_capacity_per_symbol(p) for p in (0.0, 0.05, 0.2, 0.4)
+        ]
+        assert capacities == sorted(capacities, reverse=True)
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            channel_capacity_per_symbol(0.1, levels=1)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=2, max_value=8),
+    )
+    def test_capacity_bounds(self, error, levels):
+        capacity = channel_capacity_per_symbol(error, levels)
+        assert -1e-9 <= capacity <= math.log2(levels) + 1e-9
+
+
+class TestTransmissionResult:
+    def make(self, sent, received, cycles=1_200_000, bits_per_symbol=1.0):
+        return TransmissionResult(
+            config=small_config(),
+            sent_symbols=sent,
+            received_symbols=received,
+            cycles=cycles,
+            bits_per_symbol=bits_per_symbol,
+        )
+
+    def test_bandwidth_at_core_clock(self):
+        # 1200 symbols in 1.2M cycles at 1.2 GHz = 1200 / 1 ms = 1.2 Mbps.
+        result = self.make([0] * 1200, [0] * 1200)
+        assert result.bandwidth_mbps == pytest.approx(1.2)
+
+    def test_error_rate_delegates_to_ber(self):
+        result = self.make([1, 0], [0, 0])
+        assert result.error_rate == 0.5
+
+    def test_effective_bandwidth_discounted_by_error(self):
+        clean = self.make([0, 1] * 50, [0, 1] * 50)
+        noisy = self.make([0, 1] * 50, [0, 0] * 50)
+        assert clean.effective_bandwidth_bps > noisy.effective_bandwidth_bps
+
+    def test_multilevel_bits_per_symbol(self):
+        result = self.make([0] * 100, [0] * 100, bits_per_symbol=2.0)
+        single = self.make([0] * 100, [0] * 100)
+        assert result.bandwidth_bps == 2 * single.bandwidth_bps
+
+    def test_zero_cycles_guard(self):
+        result = self.make([0], [0], cycles=0)
+        assert result.bandwidth_bps == 0.0
+        assert result.effective_bandwidth_bps == 0.0
+
+    def test_summary_mentions_rate_and_error(self):
+        summary = self.make([1], [1]).summary()
+        assert "Mbps" in summary
+        assert "error rate" in summary

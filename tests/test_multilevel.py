@@ -1,0 +1,92 @@
+"""Tests for the multi-level (2-bit) channel (Section 5, Figure 14)."""
+
+import random
+
+import pytest
+
+from repro.config import small_config
+from repro.channel.multilevel import DEFAULT_LEVELS, MultiLevelTpcChannel
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return small_config()
+
+
+@pytest.fixture(scope="module")
+def channel(cfg):
+    instance = MultiLevelTpcChannel(cfg)
+    instance.calibrate_levels(repeats=6)
+    return instance
+
+
+def random_symbols(count, levels=4, seed=41):
+    rng = random.Random(seed)
+    return [rng.randrange(levels) for _ in range(count)]
+
+
+class TestLevels:
+    def test_level_latencies_monotonic(self, cfg):
+        probe = MultiLevelTpcChannel(cfg)
+        means = probe.level_means(repeats=6)
+        assert means == sorted(means)
+        assert means[-1] > means[0] * 1.1
+
+    def test_calibration_produces_ordered_thresholds(self, channel):
+        thresholds = channel._level_thresholds
+        assert len(thresholds) == len(DEFAULT_LEVELS) - 1
+        assert thresholds == sorted(thresholds)
+
+    def test_two_bits_per_symbol(self, channel):
+        assert channel.bits_per_symbol == 2.0
+
+    def test_levels_must_start_with_silence(self, cfg):
+        with pytest.raises(ValueError):
+            MultiLevelTpcChannel(cfg, levels=(8, 16, 32))
+
+    def test_at_least_two_levels(self, cfg):
+        with pytest.raises(ValueError):
+            MultiLevelTpcChannel(cfg, levels=(0,))
+
+
+class TestTransmission:
+    def test_multilevel_round_trip_moderate_error(self, channel):
+        symbols = random_symbols(40)
+        result = channel.transmit(symbols)
+        # The paper accepts a proportionally higher error for 2x symbols.
+        assert result.error_rate <= 0.3
+
+    def test_extreme_levels_reliably_separated(self, channel):
+        symbols = [0, 3] * 10
+        result = channel.transmit(symbols)
+        errors = sum(
+            1 for s, r in zip(result.sent_symbols, result.received_symbols)
+            if s != r
+        )
+        assert errors <= 2
+
+    def test_raw_bandwidth_exceeds_binary_channel(self, cfg, channel):
+        """The ~1.6x bandwidth gain the paper reports."""
+        from repro.channel.tpc_channel import TpcCovertChannel
+
+        binary = TpcCovertChannel(cfg, params=channel.params)
+        binary.calibrate()
+        bits = [s % 2 for s in range(24)]
+        binary_result = binary.transmit(bits)
+        multi_result = channel.transmit(random_symbols(24))
+        assert (
+            multi_result.bandwidth_mbps
+            > 1.4 * binary_result.bandwidth_mbps
+        )
+
+    def test_symbol_range_validated(self, channel):
+        with pytest.raises(ValueError):
+            channel.transmit([0, 4, 1])
+
+    def test_empty_payload_rejected(self, channel):
+        with pytest.raises(ValueError):
+            channel.transmit([])
+
+    def test_result_reports_two_bits_per_symbol(self, channel):
+        result = channel.transmit([0, 1, 2, 3])
+        assert result.bits_per_symbol == 2.0

@@ -1,0 +1,112 @@
+"""Unit tests for the concentrator mux — the covert channel's substrate."""
+
+import pytest
+
+from repro.noc.arbiter import RoundRobin, make_policy
+from repro.noc.buffer import PacketQueue
+from repro.noc.mux import Mux
+from repro.noc.packet import Packet, READ, WRITE
+
+
+def packet(flits=1, kind=READ, address=0):
+    return Packet(kind=kind, address=address, flits=flits, src_sm=0, slice_id=0)
+
+
+def build(num_inputs=2, width=1, out_capacity=1000, in_capacity=64):
+    inputs = [PacketQueue(f"in{i}", in_capacity) for i in range(num_inputs)]
+    output = PacketQueue("out", out_capacity)
+    mux = Mux("m", inputs, output, width, RoundRobin(num_inputs))
+    return mux, inputs, output
+
+
+class TestThroughput:
+    def test_width_limits_flits_per_cycle(self):
+        mux, inputs, output = build(width=2)
+        for _ in range(10):
+            inputs[0].push(packet(flits=1))
+        mux.tick(0)
+        assert len(output) == 2
+
+    def test_multi_flit_packet_takes_multiple_cycles(self):
+        mux, inputs, output = build(width=1)
+        inputs[0].push(packet(flits=4))
+        for cycle in range(3):
+            mux.tick(cycle)
+            assert len(output) == 0
+        mux.tick(3)
+        assert len(output) == 1
+
+    def test_wide_mux_moves_multi_flit_packet_in_one_cycle(self):
+        mux, inputs, output = build(width=4)
+        inputs[0].push(packet(flits=4))
+        mux.tick(0)
+        assert len(output) == 1
+
+    def test_oversubscription_halves_per_input_throughput(self):
+        """The 2:1 concentration that makes the TPC channel leak."""
+        mux, inputs, output = build(width=1, in_capacity=512)
+        for _ in range(40):
+            inputs[0].push(packet())
+            inputs[1].push(packet())
+        for cycle in range(40):
+            mux.tick(cycle)
+        assert 40 - len(inputs[0]) == 20
+        assert 40 - len(inputs[1]) == 20
+
+
+class TestBackpressure:
+    def test_full_output_blocks_transmission(self):
+        mux, inputs, output = build(out_capacity=2)
+        inputs[0].push(packet(flits=2))
+        inputs[0].push(packet(flits=2))
+        mux.tick(0)
+        mux.tick(1)
+        assert len(output) == 1
+        assert len(inputs[0]) == 1  # no room for the second packet
+
+    def test_drain_resumes_after_pop(self):
+        mux, inputs, output = build(out_capacity=2)
+        inputs[0].push(packet(flits=2))
+        inputs[0].push(packet(flits=2))
+        for cycle in range(2):
+            mux.tick(cycle)
+        output.pop()
+        for cycle in range(2, 4):
+            mux.tick(cycle)
+        assert len(output) == 1
+
+    def test_large_packet_never_starts_without_room(self):
+        mux, inputs, output = build(out_capacity=3)
+        inputs[0].push(packet(flits=4))
+        for cycle in range(10):
+            mux.tick(cycle)
+        assert len(output) == 0
+        assert len(inputs[0]) == 1
+
+    def test_blocked_big_packet_does_not_stop_other_input(self):
+        # Output has room for the small packet but not the big one.
+        mux, inputs, output = build(out_capacity=2)
+        inputs[0].push(packet(flits=4))
+        inputs[1].push(packet(flits=1))
+        mux.tick(0)
+        assert len(output) == 1
+        assert output.head().flits == 1
+
+
+class TestReset:
+    def test_reset_clears_partial_transmission(self):
+        mux, inputs, output = build(width=1)
+        inputs[0].push(packet(flits=4))
+        mux.tick(0)  # one flit in flight
+        mux.reset()
+        assert not inputs[0]
+        assert mux._progress == [0, 0]
+        assert mux._reserved == [False, False]
+
+    def test_reserved_space_released_logically_on_reset(self):
+        mux, inputs, output = build(out_capacity=8)
+        inputs[0].push(packet(flits=4))
+        mux.tick(0)
+        mux.reset()
+        output.clear()
+        assert output.free_flits == 8

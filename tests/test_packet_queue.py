@@ -1,0 +1,121 @@
+"""Unit tests for PacketQueue flit accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.buffer import PacketQueue
+from repro.noc.packet import Packet, READ
+
+
+def make_packet(flits=1, uid_kind=READ):
+    return Packet(kind=uid_kind, address=0, flits=flits, src_sm=0, slice_id=0)
+
+
+class TestBasics:
+    def test_push_pop_fifo_order(self):
+        queue = PacketQueue("q", 16)
+        first = make_packet(2)
+        second = make_packet(3)
+        assert queue.push(first)
+        assert queue.push(second)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_capacity_enforced_in_flits(self):
+        queue = PacketQueue("q", 4)
+        assert queue.push(make_packet(3))
+        assert not queue.push(make_packet(2))  # 3 + 2 > 4
+        assert queue.push(make_packet(1))
+
+    def test_head_peeks_without_removal(self):
+        queue = PacketQueue("q", 8)
+        packet = make_packet()
+        queue.push(packet)
+        assert queue.head() is packet
+        assert len(queue) == 1
+
+    def test_empty_head_is_none(self):
+        assert PacketQueue("q", 4).head() is None
+
+    def test_bool_and_len(self):
+        queue = PacketQueue("q", 8)
+        assert not queue
+        queue.push(make_packet())
+        assert queue
+        assert len(queue) == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PacketQueue("q", 0)
+
+
+class TestReservations:
+    def test_reserve_blocks_other_traffic(self):
+        queue = PacketQueue("q", 4)
+        queue.reserve(3)
+        assert not queue.can_reserve(2)
+        assert queue.can_reserve(1)
+
+    def test_commit_consumes_reservation(self):
+        queue = PacketQueue("q", 4)
+        packet = make_packet(3)
+        queue.reserve(3)
+        queue.commit(packet)
+        assert queue.used_flits == 3
+        assert queue.free_flits == 1
+
+    def test_commit_without_reservation_raises(self):
+        queue = PacketQueue("q", 4)
+        with pytest.raises(RuntimeError):
+            queue.commit(make_packet(2))
+
+    def test_over_reserve_raises(self):
+        queue = PacketQueue("q", 4)
+        with pytest.raises(OverflowError):
+            queue.reserve(5)
+
+    def test_pop_releases_space(self):
+        queue = PacketQueue("q", 4)
+        queue.push(make_packet(4))
+        assert queue.free_flits == 0
+        queue.pop()
+        assert queue.free_flits == 4
+
+    def test_clear_resets_everything(self):
+        queue = PacketQueue("q", 8)
+        queue.push(make_packet(2))
+        queue.reserve(3)
+        queue.clear()
+        assert queue.free_flits == 8
+        assert not queue
+
+
+class TestInvariants:
+    @given(st.lists(st.integers(min_value=1, max_value=5), max_size=30))
+    def test_occupancy_never_exceeds_capacity(self, sizes):
+        queue = PacketQueue("q", 10)
+        accepted = []
+        for flits in sizes:
+            if queue.push(make_packet(flits)):
+                accepted.append(flits)
+            assert 0 <= queue.used_flits <= 10
+        assert queue.used_flits == sum(accepted)
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=1, max_value=4)),
+            max_size=40,
+        )
+    )
+    def test_push_pop_sequence_conserves_flits(self, operations):
+        queue = PacketQueue("q", 12)
+        expected = []
+        for is_push, flits in operations:
+            if is_push:
+                if queue.push(make_packet(flits)):
+                    expected.append(flits)
+            elif expected:
+                queue.pop()
+                expected.pop(0)
+            assert queue.used_flits == sum(expected)
+            assert len(queue) == len(expected)

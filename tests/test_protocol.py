@@ -1,0 +1,117 @@
+"""Unit tests for the channel protocol: params, addresses, decoders."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.protocol import (
+    REGION_OPS,
+    ChannelParams,
+    decode_binary,
+    decode_multilevel,
+    receiver_addresses,
+    region_bytes,
+    sender_addresses,
+)
+from repro.gpu.coalescer import coalesce
+
+LINE = 128
+
+
+class TestChannelParams:
+    def test_slot_computed_from_iterations(self):
+        params = ChannelParams(
+            iterations=3, slot_base=100, slot_per_iteration=50
+        )
+        assert params.slot == 250
+
+    def test_explicit_slot_overrides_formula(self):
+        params = ChannelParams(slot_cycles=999, iterations=5)
+        assert params.slot == 999
+
+    def test_with_returns_modified_copy(self):
+        params = ChannelParams()
+        changed = params.with_(iterations=2)
+        assert changed.iterations == 2
+        assert params.iterations == 4
+
+    def test_sync_mask_period_exceeds_slot(self):
+        params = ChannelParams()
+        assert params.sync_mask + 1 > params.slot
+
+
+class TestAddressBuilders:
+    def test_uncoalesced_sender_touches_full_lanes(self):
+        params = ChannelParams(sender_lines=32)
+        addresses = sender_addresses(params, 0, LINE, op_index=0)
+        assert len(coalesce(addresses, LINE)) == 32
+
+    def test_coalesced_sender_touches_one_line(self):
+        params = ChannelParams(sender_lines=1)
+        addresses = sender_addresses(params, 0, LINE, op_index=0)
+        assert len(coalesce(addresses, LINE)) == 1
+
+    def test_partial_density_levels(self):
+        for lines in (8, 16):
+            params = ChannelParams(sender_lines=lines)
+            addresses = sender_addresses(params, 0, LINE, op_index=0)
+            assert len(coalesce(addresses, LINE)) == lines
+
+    def test_receiver_addresses_respect_receiver_lines(self):
+        params = ChannelParams(receiver_lines=1)
+        addresses = receiver_addresses(params, 0, LINE, op_index=0)
+        assert len(coalesce(addresses, LINE)) == 1
+
+    def test_ops_stay_inside_preloaded_region(self):
+        params = ChannelParams()
+        region = region_bytes(params, LINE)
+        for op in range(20):
+            for address in sender_addresses(params, 0, LINE, op):
+                assert 0 <= address < region
+
+    def test_region_bounded_by_region_ops(self):
+        params = ChannelParams()
+        assert region_bytes(params, LINE) == REGION_OPS * 32 * LINE
+
+
+class TestDecoders:
+    def test_binary_threshold(self):
+        assert decode_binary([10, 30, 20, 5], threshold=15) == [0, 1, 1, 0]
+
+    def test_binary_boundary_is_zero(self):
+        assert decode_binary([15], threshold=15) == [0]
+
+    def test_multilevel_staircase(self):
+        thresholds = [10, 20, 30]
+        values = [5, 15, 25, 35]
+        assert decode_multilevel(values, thresholds) == [0, 1, 2, 3]
+
+    def test_multilevel_empty(self):
+        assert decode_multilevel([], [10]) == []
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1000), max_size=50),
+        st.floats(min_value=0, max_value=1000),
+    )
+    def test_binary_decode_is_pointwise_threshold(self, values, threshold):
+        decoded = decode_binary(values, threshold)
+        assert decoded == [1 if v > threshold else 0 for v in values]
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), max_size=30),
+        st.lists(
+            st.floats(min_value=0, max_value=100), min_size=1, max_size=4
+        ),
+    )
+    def test_multilevel_symbols_in_range(self, values, raw_thresholds):
+        thresholds = sorted(raw_thresholds)
+        decoded = decode_multilevel(values, thresholds)
+        assert all(0 <= s <= len(thresholds) for s in decoded)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), max_size=30))
+    def test_multilevel_monotone_in_value(self, values):
+        thresholds = [25.0, 50.0, 75.0]
+        decoded = decode_multilevel(values, thresholds)
+        for value, symbol in zip(values, decoded):
+            for other_value, other_symbol in zip(values, decoded):
+                if value < other_value:
+                    assert symbol <= other_symbol

@@ -1,0 +1,90 @@
+"""Unit tests for the GPC reply distributor and reply-path budgets."""
+
+import pytest
+
+from repro.config import small_config
+from repro.gpu.reply_path import GpcReplyDistributor
+from repro.noc.buffer import PacketQueue
+from repro.noc.packet import Packet, READ
+
+
+def reply_packet(src_sm, flits=4):
+    return Packet(
+        kind=READ, address=0, flits=flits, src_sm=src_sm, slice_id=0,
+        is_reply=True,
+    )
+
+
+def build(config=None, gpc=0):
+    config = config or small_config()
+    queue = PacketQueue("in", 256)
+    delivered = []
+    members = config.gpc_members()[gpc]
+    distributor = GpcReplyDistributor(
+        gpc, config, queue, members,
+        deliver=lambda packet, cycle: delivered.append((packet, cycle)),
+    )
+    return config, queue, distributor, delivered
+
+
+class TestDistribution:
+    def test_delivers_to_destination_sm(self):
+        config, queue, distributor, delivered = build()
+        queue.push(reply_packet(src_sm=0))
+        distributor.tick(0)
+        distributor.tick(1)
+        assert len(delivered) == 1
+        assert delivered[0][0].src_sm == 0
+
+    def test_gpc_width_limits_flits_per_cycle(self):
+        config, queue, distributor, delivered = build()
+        width = config.gpc_reply_width
+        for _ in range(4):
+            queue.push(reply_packet(src_sm=0, flits=4))
+        distributor.tick(0)
+        # 4-flit packets over a width-3 channel: at most floor progress.
+        assert len(delivered) <= max(1, width // 4 + 1)
+
+    def test_throughput_matches_width(self):
+        config, queue, distributor, delivered = build()
+        width = config.gpc_reply_width
+        packets = 12
+        for _ in range(packets):
+            queue.push(reply_packet(src_sm=0, flits=4))
+        cycles = 0
+        while len(delivered) < packets and cycles < 500:
+            distributor.tick(cycles)
+            cycles += 1
+        assert len(delivered) == packets
+        # 12 packets x 4 flits / width flits-per-cycle, +1 slack.
+        assert cycles <= (packets * 4) // width + 3
+
+    def test_wrong_gpc_reply_raises(self):
+        config, queue, distributor, delivered = build(gpc=0)
+        # An SM of GPC1 must never appear on GPC0's reply channel.
+        foreign_sm = config.tpc_sms(config.gpc_members()[1][0])[0]
+        queue.push(reply_packet(src_sm=foreign_sm))
+        with pytest.raises(RuntimeError):
+            distributor.tick(0)
+
+    def test_reset_clears_progress(self):
+        config, queue, distributor, delivered = build()
+        queue.push(reply_packet(src_sm=0, flits=4))
+        distributor.tick(0)  # partial progress (width 3 < 4 flits)
+        distributor.reset()
+        assert distributor._progress == 0
+        assert not queue
+
+
+class TestPerTpcBudget:
+    def test_one_tpc_cannot_hog_beyond_its_reply_width(self):
+        config = small_config(gpc_reply_width=8, tpc_reply_width=2)
+        _, queue, distributor, delivered = build(config)
+        # All replies to TPC0's SM0: per-TPC budget (2) binds, not the
+        # GPC budget (8).
+        for _ in range(6):
+            queue.push(reply_packet(src_sm=0, flits=2))
+        distributor.tick(0)
+        assert len(delivered) == 1  # 2 flits = one 2-flit packet
+        distributor.tick(1)
+        assert len(delivered) == 2

@@ -1,0 +1,37 @@
+"""Tests for the experiment report generator."""
+
+import pytest
+
+from repro.analysis.report import REPORT_SECTIONS, generate_report
+
+
+class TestReportGenerator:
+    def test_selected_sections_only(self):
+        report = generate_report(sections=["tpc-discovery"])
+        assert "TPC discovery" in report
+        assert "Secure arbitration" not in report
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(sections=["warp-drive"])
+
+    def test_registry_names(self):
+        assert {
+            "tpc-discovery", "contention", "covert-channel",
+            "defense", "side-channel",
+        } == set(REPORT_SECTIONS)
+
+    def test_defense_section_reports_srr_flat(self):
+        report = generate_report(sections=["defense"])
+        assert "SRR" in report
+        assert "0.0" in report  # the flat slope appears
+
+    def test_covert_channel_section_reports_bandwidth(self):
+        report = generate_report(sections=["covert-channel"])
+        assert "bandwidth (Mbps)" in report
+        assert "error rate" in report
+
+    def test_report_is_markdown(self):
+        report = generate_report(sections=["tpc-discovery"])
+        assert report.startswith("# repro experiment report")
+        assert "## TPC discovery" in report

@@ -1,0 +1,72 @@
+"""Tests for the clock survey (Fig 6) and co-location probing (Sec 4.3)."""
+
+import pytest
+
+from repro.config import small_config
+from repro.reveng.clockmap import (
+    repeated_skew_statistics,
+    survey_clocks,
+)
+from repro.reveng.colocation import (
+    infer_scheduling_policy,
+    plan_tpc_colocation,
+    probe_block_placement,
+)
+from repro.gpu.scheduler import dispatch_order
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return small_config()
+
+
+class TestClockSurvey:
+    def test_values_recorded_for_every_sm(self, cfg):
+        survey = survey_clocks(cfg)
+        assert set(survey.values) == set(range(cfg.num_sms))
+
+    def test_tpc_skews_under_paper_bound(self, cfg):
+        survey = survey_clocks(cfg)
+        assert all(skew <= 10 for skew in survey.tpc_skews())
+
+    def test_gpc_skews_under_paper_bound(self, cfg):
+        survey = survey_clocks(cfg)
+        assert all(skew <= 25 for skew in survey.gpc_skews())
+
+    def test_cross_gpc_values_far_apart(self, cfg):
+        survey = survey_clocks(cfg)
+        members = cfg.gpc_members()
+        sm_a = cfg.tpc_sms(members[0][0])[0]
+        sm_b = cfg.tpc_sms(members[1][0])[0]
+        # Figure 6: different GPCs read wildly different register values.
+        delta = abs(survey.values[sm_a] - survey.values[sm_b])
+        assert delta > 10_000
+
+    def test_repeated_statistics_match_section_4_1(self, cfg):
+        stats = repeated_skew_statistics(cfg, runs=10)
+        assert stats["avg_tpc_skew"] < 5 + cfg.clock_skew.read_jitter * 2
+        assert stats["avg_gpc_skew"] < 15 + cfg.clock_skew.read_jitter * 2
+        assert stats["avg_tpc_skew"] <= stats["avg_gpc_skew"]
+
+
+class TestColocationProbing:
+    def test_inferred_policy_matches_dispatch_order(self, cfg):
+        assert infer_scheduling_policy(cfg) == dispatch_order(cfg)
+
+    def test_probe_records_every_block(self, cfg):
+        placements = probe_block_placement(cfg, grid_sizes=(3, 2))
+        assert set(placements) == {
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1)
+        }
+
+    def test_plan_covers_every_tpc(self, cfg):
+        plan = plan_tpc_colocation(cfg)
+        assert set(plan.pairs) == set(range(cfg.num_tpcs))
+        assert plan.num_channels == cfg.num_tpcs
+
+    def test_pairs_are_distinct_sms_of_one_tpc(self, cfg):
+        plan = plan_tpc_colocation(cfg)
+        for tpc, (sender_sm, receiver_sm) in plan.pairs.items():
+            assert sender_sm != receiver_sm
+            assert cfg.sm_to_tpc(sender_sm) == tpc
+            assert cfg.sm_to_tpc(receiver_sm) == tpc

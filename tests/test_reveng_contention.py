@@ -1,0 +1,83 @@
+"""Tests for the contention characterization sweeps (Figures 5, 8, 11)."""
+
+import pytest
+
+from repro.config import medium_config, small_config
+from repro.reveng.contention import (
+    gpc_sharing_sweep,
+    mux_sharing_sweep,
+    rw_contention_profile,
+)
+
+
+class TestRwProfile:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return rw_contention_profile(medium_config(timing_noise=0), ops=6)
+
+    def test_tpc_write_contention_doubles(self, profile):
+        assert profile.tpc["write"] == pytest.approx(2.0, rel=0.15)
+
+    def test_tpc_read_contention_minimal(self, profile):
+        assert profile.tpc["read"] < 1.3
+
+    def test_gpc_write_degradation_small(self, profile):
+        # Writes are throttled at the TPC channel before the GPC mux
+        # (Figure 5b): even the full GPC costs little.
+        assert profile.gpc["write"][-1] < 1.35
+
+    def test_gpc_read_degrades_with_more_tpcs(self, profile):
+        series = profile.gpc["read"]
+        assert series[0] == pytest.approx(1.0, rel=0.05)
+        assert series[-1] > 1.25
+        assert series[-1] > series[1]
+
+    def test_single_tpc_is_baseline(self, profile):
+        assert profile.gpc["write"][0] == pytest.approx(1.0, rel=0.05)
+
+
+class TestMuxSharingSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return mux_sharing_sweep(
+            small_config(timing_noise=0),
+            fractions=(0.0, 0.25, 0.5, 0.75, 1.0),
+            ops=10,
+        )
+
+    def test_sharing_sm_slope_near_one(self, sweep):
+        assert sweep.slope("SM1") == pytest.approx(1.0, abs=0.2)
+
+    def test_non_sharing_sm_flat(self, sweep):
+        label = [k for k in sweep.series if k != "SM1"][0]
+        assert abs(sweep.slope(label)) < 0.05
+
+    def test_sharing_series_monotonic(self, sweep):
+        series = sweep.series["SM1"]
+        assert all(b >= a - 0.02 for a, b in zip(series, series[1:]))
+
+    def test_full_contention_doubles_time(self, sweep):
+        assert sweep.series["SM1"][-1] == pytest.approx(2.0, rel=0.15)
+
+
+class TestGpcSharingSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return gpc_sharing_sweep(
+            medium_config(timing_noise=0),
+            fractions=(0.0, 0.5, 1.0),
+            ops=5,
+        )
+
+    def test_same_gpc_leaks(self, sweep):
+        assert sweep.slope("same-gpc") > 0.1
+
+    def test_different_gpc_does_not_leak(self, sweep):
+        assert abs(sweep.slope("different-gpc")) < 0.05
+
+    def test_gpc_slope_smaller_than_tpc_slope(self, sweep):
+        """The GPC speedup dampens the leakage (Figure 11 vs Figure 8)."""
+        tpc = mux_sharing_sweep(
+            small_config(timing_noise=0), fractions=(0.0, 0.5, 1.0), ops=8
+        )
+        assert sweep.slope("same-gpc") < tpc.slope("SM1")

@@ -1,0 +1,72 @@
+"""Tests for GPC membership reverse engineering (Section 3.3 / Fig 3-4)."""
+
+import pytest
+
+from repro.config import medium_config
+from repro.reveng.gpc_discovery import (
+    recover_gpc_groups,
+    sweep_gpc_membership,
+    verify_topology,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    # Medium config, noise-free: GPC0 has 5 TPCs, enough read traffic to
+    # expose the GPC reply-channel oversubscription the experiment uses.
+    return medium_config(timing_noise=0)
+
+
+@pytest.fixture(scope="module")
+def sweep(cfg):
+    return sweep_gpc_membership(
+        cfg, anchor_tpc=0, trials=8, extra_tpcs=4, ops=3, seed=1
+    )
+
+
+class TestSweep:
+    def test_every_varied_tpc_sampled(self, cfg, sweep):
+        assert set(sweep.samples) == set(range(1, cfg.num_tpcs))
+        assert all(len(times) == 8 for times in sweep.samples.values())
+
+    def test_trials_record_active_sets(self, cfg, sweep):
+        assert len(sweep.trials) == 8 * (cfg.num_tpcs - 1)
+        for active, time in sweep.trials:
+            assert 0 not in active  # the anchor is not its own co-runner
+            assert len(active) == 5  # varied + 4 extras
+            assert time > 0
+
+    def test_same_gpc_tpcs_score_higher(self, cfg, sweep):
+        members = cfg.gpc_members()
+        anchor_gpc = cfg.tpc_to_gpc_map()[0]
+        same = [t for t in members[anchor_gpc] if t != 0]
+        scores = sweep.membership_scores()
+        different = [t for t in scores if t not in same]
+        assert min(scores[t] for t in same) > max(
+            scores[t] for t in different
+        )
+
+    def test_co_resident_detection_matches_ground_truth(self, cfg, sweep):
+        members = cfg.gpc_members()
+        anchor_gpc = cfg.tpc_to_gpc_map()[0]
+        expected = sorted(t for t in members[anchor_gpc] if t != 0)
+        assert sweep.co_resident_tpcs() == expected
+
+    def test_contended_fraction_diagnostic(self, sweep):
+        fractions = sweep.contended_fractions(slowdown_cut=1.10)
+        assert all(0.0 <= f <= 1.0 for f in fractions.values())
+
+
+class TestRecovery:
+    def test_full_gpc_grouping_recovered(self, cfg):
+        groups = recover_gpc_groups(cfg, trials=8, ops=3, seed=5)
+        assert verify_topology(cfg, groups)
+
+    def test_verify_topology_rejects_wrong_grouping(self, cfg):
+        wrong = [set(range(cfg.num_tpcs))]
+        assert not verify_topology(cfg, wrong)
+
+    def test_recovery_deterministic_for_seed(self, cfg):
+        first = recover_gpc_groups(cfg, trials=6, ops=3, seed=9)
+        second = recover_gpc_groups(cfg, trials=6, ops=3, seed=9)
+        assert first == second

@@ -1,0 +1,61 @@
+"""Tests for TPC-pair reverse engineering (Section 3.2 / Figure 2)."""
+
+import pytest
+
+from repro.config import small_config
+from repro.reveng.tpc_discovery import (
+    measure_active_sms,
+    recover_tpc_pairs,
+    sweep_tpc_pairing,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return small_config()
+
+
+class TestMeasureActiveSms:
+    def test_returns_duration_for_every_active_sm(self, cfg):
+        result = measure_active_sms(cfg, {0, 3}, ops=6)
+        assert set(result) == {0, 3}
+        assert all(duration > 0 for duration in result.values())
+
+    def test_tpc_sibling_doubles_execution_time(self, cfg):
+        baseline = measure_active_sms(cfg, {0}, ops=10)[0]
+        paired = measure_active_sms(cfg, {0, 1}, ops=10)[0]
+        assert paired / baseline == pytest.approx(2.0, rel=0.12)
+
+    def test_foreign_sm_leaves_time_flat(self, cfg):
+        baseline = measure_active_sms(cfg, {0}, ops=10)[0]
+        foreign = measure_active_sms(cfg, {0, 4}, ops=10)[0]
+        assert foreign / baseline == pytest.approx(1.0, rel=0.12)
+
+    def test_read_contention_minimal_in_tpc(self, cfg):
+        baseline = measure_active_sms(cfg, {0}, kind="read", ops=6)[0]
+        paired = measure_active_sms(cfg, {0, 1}, kind="read", ops=6)[0]
+        assert paired / baseline < 1.3
+
+
+class TestSweep:
+    def test_figure2_shape(self, cfg):
+        sweep = sweep_tpc_pairing(cfg, ops=10)
+        normalized = sweep.normalized()
+        assert normalized[1] > 1.7          # the TPC sibling
+        for other in (2, 3, 4, 5, 6, 7):
+            assert normalized[other] < 1.3  # everyone else flat
+
+    def test_partner_detection(self, cfg):
+        sweep = sweep_tpc_pairing(cfg, ops=10)
+        assert sweep.partner_of_sm0() == [1]
+
+    def test_sweep_respects_explicit_sm_list(self, cfg):
+        sweep = sweep_tpc_pairing(cfg, other_sms=[1, 4], ops=8)
+        assert set(sweep.sm0_times) == {1, 4}
+
+
+class TestFullRecovery:
+    def test_recovers_every_tpc_pair(self, cfg):
+        pairs = recover_tpc_pairs(cfg, ops=8)
+        expected = [{2 * t, 2 * t + 1} for t in range(cfg.num_tpcs)]
+        assert sorted(pairs, key=min) == expected

@@ -1,0 +1,137 @@
+"""Unit tests for the thread-block scheduler (Section 4.3 policy)."""
+
+import pytest
+
+from repro.config import VOLTA_V100, small_config
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import Kernel, Stream
+from repro.gpu.scheduler import dispatch_order
+from repro.gpu.warp import WaitCycles
+
+
+def idle_program(hold=32):
+    def program(ctx):
+        yield WaitCycles(hold)
+
+    return program
+
+
+class TestDispatchOrder:
+    def test_small_config_order_interleaves_gpcs(self):
+        # GPC0 = TPC {0, 2}, GPC1 = TPC {1, 3}: first SMs first,
+        # alternating GPCs, then the second SMs.
+        order = dispatch_order(small_config())
+        assert order == [0, 2, 4, 6, 1, 3, 5, 7]
+
+    def test_order_covers_every_sm_once(self):
+        for config in (small_config(), VOLTA_V100):
+            order = dispatch_order(config)
+            assert sorted(order) == list(range(config.num_sms))
+
+    def test_first_wave_hits_every_tpc_before_doubling(self):
+        config = VOLTA_V100
+        order = dispatch_order(config)
+        first_wave = order[: config.num_tpcs]
+        tpcs = [config.sm_to_tpc(sm) for sm in first_wave]
+        assert len(set(tpcs)) == config.num_tpcs
+
+    def test_first_wave_interleaves_gpcs(self):
+        config = VOLTA_V100
+        order = dispatch_order(config)
+        gpcs = [config.sm_to_gpc(sm) for sm in order[: config.num_gpcs]]
+        assert gpcs == list(range(config.num_gpcs))
+
+
+class TestPlacement:
+    def test_sender_receiver_grids_colocate_per_tpc(self):
+        """The paper's trick: N blocks then N blocks -> one of each per TPC."""
+        config = small_config()
+        device = GpuDevice(config)
+        sender = Kernel(idle_program(), num_blocks=config.num_tpcs, name="s")
+        receiver = Kernel(idle_program(), num_blocks=config.num_tpcs, name="r")
+        device.run_kernels([sender, receiver])
+        for block in range(config.num_tpcs):
+            sender_tpc = config.sm_to_tpc(sender.blocks[block].sm_id)
+            receiver_tpc = config.sm_to_tpc(receiver.blocks[block].sm_id)
+            assert sender_tpc == receiver_tpc
+            assert sender.blocks[block].sm_id != receiver.blocks[block].sm_id
+
+    def test_blocks_fill_in_launch_order(self):
+        config = small_config()
+        device = GpuDevice(config)
+        kernel = Kernel(idle_program(), num_blocks=config.num_sms, name="k")
+        device.run_kernels([kernel])
+        assert kernel.placement() == dispatch_order(config)
+
+    def test_excess_blocks_wait_for_free_slots(self):
+        config = small_config(max_blocks_per_sm=1, max_warps_per_sm=1)
+        device = GpuDevice(config)
+        kernel = Kernel(
+            idle_program(hold=16),
+            num_blocks=config.num_sms + 3,
+            name="k",
+        )
+        device.run_kernels([kernel])
+        assert kernel.done
+        assert all(sm_id is not None for sm_id in kernel.placement())
+
+    def test_streams_serialize_their_kernels(self):
+        config = small_config()
+        device = GpuDevice(config)
+        stream = device.create_stream("s")
+        finished = []
+
+        def tagged(tag):
+            def program(ctx):
+                yield WaitCycles(16)
+                finished.append(tag)
+
+            return program
+
+        first = Kernel(tagged("first"), num_blocks=1, name="a")
+        second = Kernel(tagged("second"), num_blocks=1, name="b")
+        device.launch(first, stream)
+        device.launch(second, stream)
+        device.run()
+        assert finished == ["first", "second"]
+
+    def test_concurrent_streams_overlap(self):
+        config = small_config()
+        device = GpuDevice(config)
+        long_kernel = Kernel(idle_program(hold=500), num_blocks=1, name="long")
+        short_kernel = Kernel(idle_program(hold=10), num_blocks=1, name="short")
+        times = device.run_kernels([long_kernel, short_kernel])
+        assert times["short"] < times["long"]
+
+    def test_retired_blocks_free_their_sm(self):
+        config = small_config(max_blocks_per_sm=1, max_warps_per_sm=2)
+        device = GpuDevice(config)
+        waves = Kernel(
+            idle_program(hold=8), num_blocks=config.num_sms * 3, name="w"
+        )
+        device.run_kernels([waves])
+        assert waves.done
+
+
+class TestKernelObjects:
+    def test_kernel_validates_grid(self):
+        with pytest.raises(ValueError):
+            Kernel(idle_program(), num_blocks=0)
+        with pytest.raises(ValueError):
+            Kernel(idle_program(), num_blocks=1, warps_per_block=0)
+
+    def test_stream_busy_flag(self):
+        stream = Stream("s")
+        assert not stream.busy
+        stream.enqueue(Kernel(idle_program(), num_blocks=1))
+        assert stream.busy
+
+    def test_kernel_done_requires_all_blocks(self):
+        config = small_config()
+        device = GpuDevice(config)
+        kernel = Kernel(idle_program(hold=100), num_blocks=2, name="k")
+        device.launch(kernel)
+        device.engine.step(10)
+        assert not kernel.done
+        device.run()
+        assert kernel.done

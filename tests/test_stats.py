@@ -1,0 +1,76 @@
+"""Unit tests for the stats registry."""
+
+from repro.sim.stats import Sampler, StatsRegistry
+
+
+class TestSampler:
+    def test_accumulates_basic_statistics(self):
+        sampler = Sampler()
+        for value in (2.0, 4.0, 6.0):
+            sampler.add(value)
+        assert sampler.count == 3
+        assert sampler.mean == 4.0
+        assert sampler.minimum == 2.0
+        assert sampler.maximum == 6.0
+
+    def test_empty_mean_is_zero(self):
+        assert Sampler().mean == 0.0
+
+    def test_keep_values_records_history(self):
+        sampler = Sampler(keep_values=True)
+        sampler.add(1.0)
+        sampler.add(2.0)
+        assert sampler.values == [1.0, 2.0]
+
+    def test_values_not_kept_by_default(self):
+        sampler = Sampler()
+        sampler.add(1.0)
+        assert sampler.values is None
+
+    def test_reset(self):
+        sampler = Sampler(keep_values=True)
+        sampler.add(5.0)
+        sampler.reset()
+        assert sampler.count == 0
+        assert sampler.values == []
+
+
+class TestStatsRegistry:
+    def test_counters_default_to_zero(self):
+        stats = StatsRegistry()
+        stats.incr("a")
+        stats.incr("a", 4)
+        assert stats.counters["a"] == 5
+        assert stats.counters["missing"] == 0
+
+    def test_sampler_reuse_by_name(self):
+        stats = StatsRegistry()
+        assert stats.sampler("lat") is stats.sampler("lat")
+
+    def test_sample_shortcut(self):
+        stats = StatsRegistry()
+        stats.sample("lat", 10.0)
+        stats.sample("lat", 20.0)
+        assert stats.samplers["lat"].mean == 15.0
+
+    def test_snapshot_diff(self):
+        stats = StatsRegistry()
+        stats.incr("x", 3)
+        before = stats.snapshot()
+        stats.incr("x", 2)
+        stats.incr("y")
+        assert stats.diff(before) == {"x": 2, "y": 1}
+
+    def test_diff_excludes_unchanged(self):
+        stats = StatsRegistry()
+        stats.incr("x", 3)
+        before = stats.snapshot()
+        assert stats.diff(before) == {}
+
+    def test_reset_clears_everything(self):
+        stats = StatsRegistry()
+        stats.incr("x")
+        stats.sample("lat", 1.0)
+        stats.reset()
+        assert not stats.counters
+        assert stats.samplers["lat"].count == 0

@@ -1,0 +1,150 @@
+"""End-to-end tests of the TPC covert channel (Section 4.4)."""
+
+import random
+
+import pytest
+
+from repro.config import small_config
+from repro.channel.protocol import ChannelParams
+from repro.channel.tpc_channel import TpcCovertChannel
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return small_config()
+
+
+@pytest.fixture(scope="module")
+def calibrated(cfg):
+    channel = TpcCovertChannel(cfg)
+    channel.calibrate()
+    return channel
+
+
+def random_bits(count, seed=17):
+    rng = random.Random(seed)
+    return [rng.randint(0, 1) for _ in range(count)]
+
+
+class TestSingleChannel:
+    def test_random_payload_transmits_with_low_error(self, calibrated):
+        bits = random_bits(48)
+        result = calibrated.transmit(bits)
+        assert result.error_rate <= 0.05
+
+    def test_contention_raises_one_slot_latency(self, calibrated):
+        bits = [0, 0, 1, 1, 0, 1, 0, 0]
+        result = calibrated.transmit(bits)
+        series = result.measurements[0]
+        ones = [v for v, b in zip(series, bits) if b]
+        zeros = [v for v, b in zip(series, bits) if not b]
+        assert min(ones) > max(zeros) * 0.95
+        assert sum(ones) / len(ones) > sum(zeros) / len(zeros) * 1.1
+
+    def test_bandwidth_in_expected_band(self, calibrated):
+        result = calibrated.transmit(random_bits(32))
+        # Single TPC channel lands in the hundreds-of-kbps to ~Mbps band
+        # the paper reports for low iteration counts.
+        assert 0.1 < result.bandwidth_mbps < 5.0
+
+    def test_calibration_threshold_between_clusters(self, cfg):
+        channel = TpcCovertChannel(cfg)
+        threshold = channel.calibrate()
+        bits = [0, 1] * 8
+        result = channel.transmit(bits)
+        series = result.measurements[0]
+        zeros = [v for v, b in zip(series, bits) if not b]
+        ones = [v for v, b in zip(series, bits) if b]
+        assert max(zeros) < threshold < min(ones)
+
+    def test_transmit_requires_payload(self, calibrated):
+        with pytest.raises(ValueError):
+            calibrated.transmit([])
+
+    def test_transmit_bytes_round_trip(self, calibrated):
+        result = calibrated.transmit_bytes(b"\xa5\x3c")
+        expected = [1,0,1,0,0,1,0,1, 0,0,1,1,1,1,0,0]
+        assert result.sent_symbols == expected
+        assert result.error_rate <= 0.1
+
+    def test_unknown_tpc_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            TpcCovertChannel(cfg, channels=[99])
+
+    def test_auto_calibration_on_first_transmit(self, cfg):
+        channel = TpcCovertChannel(cfg)
+        assert channel.params.threshold is None
+        result = channel.transmit([1, 0, 1, 0])
+        assert channel.params.threshold is not None
+        assert result.error_rate <= 0.25
+
+
+class TestIterationTradeoff:
+    def test_more_iterations_lower_bandwidth(self, cfg):
+        rates = []
+        for iterations in (1, 3, 5):
+            channel = TpcCovertChannel(
+                cfg, params=ChannelParams(iterations=iterations)
+            )
+            channel.calibrate()
+            rates.append(channel.transmit(random_bits(24)).bandwidth_mbps)
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_high_iterations_are_reliable(self, cfg):
+        channel = TpcCovertChannel(cfg, params=ChannelParams(iterations=5))
+        channel.calibrate()
+        result = channel.transmit(random_bits(40))
+        assert result.error_rate <= 0.05
+
+
+class TestMultiChannel:
+    def test_all_channels_cover_every_tpc(self, cfg):
+        channel = TpcCovertChannel.all_channels(cfg)
+        assert channel.num_channels == cfg.num_tpcs
+
+    def test_parallel_channels_multiply_bandwidth(self, cfg):
+        single = TpcCovertChannel(cfg)
+        single.calibrate()
+        single_result = single.transmit(random_bits(16))
+
+        multi = TpcCovertChannel.all_channels(cfg)
+        multi.calibrate()
+        multi_result = multi.transmit(random_bits(16 * cfg.num_tpcs))
+        assert multi_result.bandwidth_mbps > 2.0 * single_result.bandwidth_mbps
+
+    def test_multi_channel_error_stays_low(self, cfg):
+        multi = TpcCovertChannel.all_channels(cfg)
+        multi.calibrate()
+        result = multi.transmit(random_bits(16 * cfg.num_tpcs))
+        assert result.error_rate <= 0.08
+
+    def test_payload_split_round_robin(self, cfg):
+        channel = TpcCovertChannel(cfg, channels=[0, 1])
+        split = channel._split_payload([1, 2, 3, 4, 5])
+        assert split == [[1, 3, 5], [2, 4]]
+
+    def test_assemble_inverts_split(self, cfg):
+        channel = TpcCovertChannel(cfg, channels=[0, 1, 2])
+        payload = list(range(11))
+        split = channel._split_payload(payload)
+        assert channel._assemble(split, len(payload)) == payload
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, cfg):
+        def run():
+            channel = TpcCovertChannel(
+                cfg, params=ChannelParams(threshold=1200.0)
+            )
+            return channel.transmit(random_bits(16)).received_symbols
+
+        assert run() == run()
+
+    def test_seed_salt_varies_noise(self, cfg):
+        def run(salt):
+            channel = TpcCovertChannel(
+                cfg, params=ChannelParams(threshold=1200.0), seed_salt=salt
+            )
+            return channel.transmit(random_bits(16)).measurements[0]
+
+        assert run(0) != run(5)
