@@ -1,0 +1,52 @@
+"""Engine-strategy microbenchmark: naive full-tick loop vs active-set.
+
+Thin wrapper over :func:`repro.runner.bench.bench_engine` — times the same
+fixed seeded workloads under ``engine_strategy="naive"`` and ``"active"``,
+asserts bit-identical results, and writes ``BENCH_engine.json``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--scale medium]
+
+or via the CLI (equivalent)::
+
+    python -m repro bench
+
+or under the pytest-benchmark harness::
+
+    pytest benchmarks/bench_engine.py --benchmark-only -s
+"""
+
+import argparse
+import json
+import sys
+
+from repro.cli import SCALES
+from repro.runner import bench_engine
+
+
+def test_engine_speedup(once):
+    """Active-set scheduling must be >=2x faster and cycle-exact."""
+    config = SCALES["small"]()
+    report = once(bench_engine, config, num_bits=24)
+    assert report["min_speedup"] >= 2.0, report
+    for entry in report["workloads"].values():
+        assert entry["identical"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument("--bits", type=int, default=24)
+    parser.add_argument("--output", default="BENCH_engine.json")
+    args = parser.parse_args(argv)
+    report = bench_engine(
+        SCALES[args.scale](), num_bits=args.bits, output=args.output
+    )
+    json.dump(report, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

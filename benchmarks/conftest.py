@@ -13,6 +13,14 @@ Run them with::
 
 import pytest
 
+from repro.runner import ResultCache
+
+
+@pytest.fixture
+def result_cache(tmp_path):
+    """A throwaway on-disk result cache for runner-backed benchmarks."""
+    return ResultCache(tmp_path / "repro_cache")
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing."""

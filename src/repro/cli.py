@@ -10,9 +10,14 @@ Gives downstream users a zero-code way to run the paper's experiments::
     python -m repro fig10 --panel tpc       # bandwidth vs iterations
     python -m repro fig15                   # arbitration countermeasures
     python -m repro table2                  # measured channel summary
+    python -m repro bench                   # engine strategy benchmark
 
 ``--scale {small,medium,volta}`` selects the simulated GPU (default
 small: fastest; volta is the full Table-1 V100 and can take minutes).
+
+Sweep commands (``fig10``, ``table2``) fan their independent points over
+worker processes (``--workers``) and reuse cached results from
+``.repro_cache`` (disable with ``--no-cache``).
 """
 
 from __future__ import annotations
@@ -136,16 +141,34 @@ def cmd_fig6(args) -> int:
     return 0
 
 
+def _sweep_cache(args):
+    from .runner import ResultCache
+
+    return None if args.no_cache else ResultCache()
+
+
 def cmd_fig10(args) -> int:
-    from .analysis import fig10_panel
+    from .runner import SimJob, run_jobs
 
     config = _config(args)
-    series = fig10_panel(
-        config, args.panel, iterations=tuple(args.iterations),
-        bits_per_channel=args.bits,
-    )
+    jobs = [
+        SimJob(
+            fn="repro.runner.workloads.fig10_point",
+            config=config,
+            params={
+                "kind": args.panel,
+                "iteration_count": count,
+                "bits_per_channel": args.bits,
+                "seed": 1021 + index,
+            },
+        )
+        for index, count in enumerate(args.iterations)
+    ]
+    rows = run_jobs(jobs, workers=args.workers, cache=_sweep_cache(args))
     print(format_table(
-        ["iterations", "bit rate (kbps)", "error rate"], series.rows()
+        ["iterations", "bit rate (kbps)", "error rate"],
+        [(r["iterations"], r["bandwidth_kbps"], r["error_rate"])
+         for r in rows],
     ))
     return 0
 
@@ -169,14 +192,48 @@ def cmd_fig15(args) -> int:
 
 
 def cmd_table2(args) -> int:
-    from .analysis import table2_summary
+    from .runner import SimJob, run_jobs
 
     config = _config(args)
-    rows = table2_summary(config, bits_per_channel=args.bits)
+    kinds = ("tpc", "multi-tpc", "gpc", "multi-gpc")
+    jobs = [
+        SimJob(
+            fn="repro.runner.workloads.table2_point",
+            config=config,
+            params={
+                "kind": kind,
+                "bits_per_channel": args.bits,
+                "seed": 2021 + index,
+            },
+        )
+        for index, kind in enumerate(kinds)
+    ]
+    rows = run_jobs(jobs, workers=args.workers, cache=_sweep_cache(args))
     print(format_table(
         ["channel", "error rate", "bandwidth (Mbps)"],
-        [(r.channel, r.error_rate, r.bandwidth_mbps) for r in rows],
+        [(r["channel"], r["error_rate"], r["bandwidth_mbps"])
+         for r in rows],
     ))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .runner import bench_engine
+
+    config = _config(args)
+    report = bench_engine(
+        config, num_bits=args.bits,
+        output=None if args.no_output else args.output,
+    )
+    for name, entry in report["workloads"].items():
+        print(
+            f"{name:12s} naive {entry['naive_wall_s']:7.3f}s  "
+            f"active {entry['active_wall_s']:7.3f}s  "
+            f"speedup {entry['speedup']:.2f}x"
+        )
+    print(f"min speedup: {report['min_speedup']:.2f}x")
+    if "output" in report:
+        print(f"wrote {report['output']}")
     return 0
 
 
@@ -217,6 +274,27 @@ def build_parser() -> argparse.ArgumentParser:
     table2 = sub.add_parser("table2", help="measured channel summary")
     table2.add_argument("--bits", type=int, default=10)
 
+    for sweep in (fig10, table2):
+        sweep.add_argument(
+            "--workers", type=int, default=None,
+            help="parallel worker processes (default: one per sweep point, "
+                 "capped at the CPU count; 1 runs inline)",
+        )
+        sweep.add_argument(
+            "--no-cache", action="store_true",
+            help="bypass the on-disk result cache (.repro_cache)",
+        )
+
+    bench = sub.add_parser(
+        "bench", help="time the naive vs active-set engine strategies"
+    )
+    bench.add_argument("--bits", type=int, default=24,
+                       help="symbols per benchmark workload")
+    bench.add_argument("--output", default="BENCH_engine.json",
+                       help="report file (default: BENCH_engine.json)")
+    bench.add_argument("--no-output", action="store_true",
+                       help="print the summary without writing the report")
+
     return parser
 
 
@@ -229,6 +307,7 @@ COMMANDS = {
     "fig10": cmd_fig10,
     "fig15": cmd_fig15,
     "table2": cmd_table2,
+    "bench": cmd_bench,
 }
 
 

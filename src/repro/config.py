@@ -213,6 +213,13 @@ class GpuConfig:
     #: Master seed for all simulator randomness.
     seed: int = 2021
 
+    #: Simulation-engine scheduling strategy: "active" (active-set
+    #: scheduling with quiescence fast-forward; the default) or "naive"
+    #: (the reference tick-everything loop).  Both are cycle-exact with
+    #: respect to each other; "naive" exists for equivalence testing and
+    #: as a fallback while debugging new components.
+    engine_strategy: str = "active"
+
     # ------------------------------------------------------------------ #
     # Derived quantities.
     # ------------------------------------------------------------------ #
@@ -226,6 +233,11 @@ class GpuConfig:
             raise ValueError(
                 f"unknown arbitration {self.arbitration!r}; "
                 f"expected one of {ARBITRATION_POLICIES}"
+            )
+        if self.engine_strategy not in ("active", "naive"):
+            raise ValueError(
+                f"unknown engine_strategy {self.engine_strategy!r}; "
+                f"expected 'active' or 'naive'"
             )
 
     @property

@@ -50,7 +50,7 @@ class GpuDevice:
     ) -> None:
         self.config = config
         self.stats = StatsRegistry()
-        self.engine = Engine()
+        self.engine = Engine(strategy=config.engine_strategy)
         self._seed_salt = seed_salt
         self.clocks = ClockSystem(config, self.engine, seed_salt=seed_salt)
         self._build(l1_enabled)
@@ -261,6 +261,44 @@ class GpuDevice:
         engine.register_all(self.controllers)
         engine.register_all(self.reply_muxes)
         engine.register_all(self.reply_distributors)
+        self._wire_wakes()
+
+    def _wire_wakes(self) -> None:
+        """Connect every queue to its consumer's wake-up hook.
+
+        This is what lets the engine's active-set scheduler park idle
+        components: a component with empty inputs sleeps until the queue
+        an upstream component pushes into wakes it.  Warp completions
+        additionally wake the thread-block scheduler (retirement /
+        promotion / dispatch are all downstream of a warp finishing).
+        """
+        config = self.config
+        members = config.gpc_members()
+        for tpc in range(config.num_tpcs):
+            mux_wake = self.tpc_muxes[tpc].wake
+            for sm in config.tpc_sms(tpc):
+                self.inject_queues[sm].on_push = mux_wake
+        for gpc in range(config.num_gpcs):
+            mux_wake = self.gpc_muxes[gpc].wake
+            for tpc in members[gpc]:
+                self.tpc_queues[tpc].on_push = mux_wake
+        for queue in self.gpc_queues:
+            queue.on_push = self.request_xbar.wake
+        for s in range(config.num_l2_slices):
+            self.l2_request_queues[s].on_push = self.l2_slices[s].wake
+        if config.reply_voq:
+            for voqs in self.l2_reply_voqs:
+                for gpc, queue in enumerate(voqs):
+                    queue.on_push = self.reply_muxes[gpc].wake
+        else:
+            for voqs in self.l2_reply_voqs:
+                voqs[0].on_push = self.reply_muxes[0].wake
+        for gpc in range(config.num_gpcs):
+            self.gpc_reply_queues[gpc].on_push = (
+                self.reply_distributors[gpc].wake
+            )
+        for sm in self.sms:
+            sm.on_warp_done = self.scheduler.wake
 
     # ------------------------------------------------------------------ #
     # Internal plumbing callbacks.
@@ -283,6 +321,7 @@ class GpuDevice:
         if stream is None:
             stream = self.create_stream(f"stream.{kernel.name}")
         stream.enqueue(kernel)
+        self.scheduler.wake()
         return kernel
 
     def run(self, max_cycles: int = 20_000_000, check_every: int = 32) -> int:

@@ -15,7 +15,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..config import DramTiming
-from ..sim.engine import Component
+from ..sim.engine import Component, FOREVER
 from ..sim.stats import StatsRegistry
 from .caches import SetAssociativeCache  # noqa: F401  (re-export convenience)
 
@@ -53,6 +53,7 @@ class MemoryController(Component):
 
     def enqueue(self, address: int, is_write: bool, token: object) -> None:
         self._queue.append((address, is_write, token))
+        self.wake()
         if self.stats is not None:
             self.stats.incr(f"{self.name}.requests")
 
@@ -96,6 +97,27 @@ class MemoryController(Component):
         self._open_row[bank] = row
         self._bank_ready[bank] = cycle + latency
         self._in_flight.append((cycle + latency, token))
+
+    def idle_until(self, cycle: int):
+        """Idle until the next in-flight completion or bank-ready time.
+
+        With an empty queue and no in-flight accesses the controller is
+        purely reactive (:meth:`enqueue` wakes it).  A queued head whose
+        bank is still busy parks the controller until the bank frees.
+        """
+        wake = FOREVER
+        for ready, _ in self._in_flight:
+            if ready < wake:
+                wake = ready
+        if self._queue:
+            address = self._queue[0][0]
+            bank = (address // self.ROW_BYTES) % self.NUM_BANKS
+            bank_ready = self._bank_ready.get(bank, 0)
+            if bank_ready <= cycle:
+                return None  # head can start next tick
+            if bank_ready < wake:
+                wake = bank_ready
+        return wake
 
     def reset(self) -> None:
         self._queue.clear()

@@ -18,7 +18,7 @@ from typing import Deque, Optional, Tuple
 from ..config import GpuConfig
 from ..noc.buffer import PacketQueue
 from ..noc.packet import Packet, READ
-from ..sim.engine import Component
+from ..sim.engine import Component, FOREVER
 from ..sim.stats import StatsRegistry
 from .caches import SetAssociativeCache
 from .dram import MemoryController
@@ -143,6 +143,22 @@ class L2Slice(Component):
         """MC callback: the line arrived from DRAM; fill and reply."""
         self.cache.install(self._local(packet.address))
         self._mshr_ready.append(packet)
+        self.wake()
+
+    def idle_until(self, cycle: int):
+        """Idle when no request is queued and the pipeline has nothing due.
+
+        A nonempty pipeline whose head is already due means the reply
+        queue is backpressuring — stay active and retry every cycle.
+        New requests wake the slice via the request queue's push hook;
+        DRAM fills via :meth:`dram_complete`.
+        """
+        if self.request_queue or self._mshr_ready:
+            return None
+        if self._pipeline:
+            ready = self._pipeline[0][0]
+            return None if ready <= cycle else ready
+        return FOREVER
 
     def _local(self, address: int) -> int:
         """Slice-local address: drop the slice-interleaving bits.

@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional
 from ..config import GpuConfig
 from ..noc.buffer import PacketQueue
 from ..noc.packet import Packet
-from ..sim.engine import Component
+from ..sim.engine import Component, FOREVER
 from ..sim.stats import StatsRegistry
 
 
@@ -87,6 +87,10 @@ class GpcReplyDistributor(Component):
                 if self.stats is not None:
                     self.stats.incr(f"{self.name}.packets")
         self._tpc_budget = tpc_budget
+
+    def idle_until(self, cycle: int) -> Optional[int]:
+        """Purely reactive: idle exactly when the reply queue is empty."""
+        return None if self.input_queue else FOREVER
 
     def reset(self) -> None:
         self._progress = 0

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional
 
 from ..config import GpuConfig
-from ..sim.engine import Component
+from ..sim.engine import Component, FOREVER
 from .kernel import Kernel, Stream, ThreadBlock
 from .sm import StreamingMultiprocessor
 from .warp import WarpContext
@@ -61,6 +61,7 @@ class ThreadBlockScheduler(Component):
 
     def add_stream(self, stream: Stream) -> Stream:
         self.streams.append(stream)
+        self.wake()
         return stream
 
     # ------------------------------------------------------------------ #
@@ -134,6 +135,35 @@ class ThreadBlockScheduler(Component):
     @property
     def all_idle(self) -> bool:
         return all(not stream.busy for stream in self.streams)
+
+    def idle_until(self, cycle: int) -> Optional[int]:
+        """Event-driven: the scheduler only has work after a launch or a
+        warp completion.
+
+        It stays active while a stream can promote a kernel, a running
+        kernel has undispatched blocks, or a resident block has finished
+        (retirement pending).  All those conditions can only *become* true
+        through ``add_stream``/``Stream.enqueue`` (the device wakes the
+        scheduler on launch) or a warp finishing (each SM's
+        ``on_warp_done`` hook wakes the scheduler), so parking in every
+        other state is exact.
+        """
+        for stream in self.streams:
+            running = stream.running
+            if running is None:
+                if stream.pending:
+                    return None
+            elif running.done:
+                return None
+            else:
+                for block in running.blocks:
+                    if block.sm_id is None:
+                        return None  # undispatched work remains
+        for resident in self._resident:
+            for block in resident:
+                if block.done:
+                    return None
+        return FOREVER
 
     def reset(self) -> None:
         self.streams.clear()

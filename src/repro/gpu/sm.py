@@ -27,7 +27,7 @@ from typing import Callable, List, Optional
 from ..config import GpuConfig
 from ..noc.buffer import PacketQueue
 from ..noc.packet import Packet, READ, WRITE
-from ..sim.engine import Component
+from ..sim.engine import Component, FOREVER
 from ..sim.stats import StatsRegistry
 from .caches import L1Cache
 from .coalescer import coalesce
@@ -98,6 +98,9 @@ class StreamingMultiprocessor(Component):
         self._noise = config.timing_noise
         self._noise_seed = (config.seed << 8) ^ 0x5A17 ^ sm_id ^ (seed_salt << 20)
         self._rng = random.Random(self._noise_seed)
+        #: Hook fired when a warp finishes (wired by the device to wake
+        #: the thread-block scheduler so it can retire/promote/dispatch).
+        self.on_warp_done: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------ #
     # Occupancy / launch interface (used by the thread-block scheduler).
@@ -116,6 +119,7 @@ class StreamingMultiprocessor(Component):
             raise RuntimeError(f"{self.name}: warp occupancy exceeded")
         slot = WarpSlot(context, program)
         self.warps.append(slot)
+        self.wake()
         return slot
 
     @property
@@ -200,6 +204,8 @@ class StreamingMultiprocessor(Component):
                 )
             except StopIteration:
                 warp.state = DONE
+                if self.on_warp_done is not None:
+                    self.on_warp_done()
                 return
             warp.state = READY
             warp.resume_value = None
@@ -347,6 +353,7 @@ class StreamingMultiprocessor(Component):
 
     def deliver_reply(self, packet: Packet, cycle: int) -> None:
         """Reply-subnet delivery: credit the warp and maybe wake it."""
+        self.wake()
         if packet.kind == READ:
             self._read_credits += 1
             self.l1.fill(packet.address)
@@ -382,6 +389,28 @@ class StreamingMultiprocessor(Component):
             else:
                 remaining.append((ready, warp))
         self._l1_returns = remaining
+
+    def idle_until(self, cycle: int) -> Optional[int]:
+        """Activity contract: an SM sleeps when no warp is runnable.
+
+        Warps in ``NEW``/``READY``/``ISSUING`` keep the SM active every
+        cycle (ISSUING may be retrying against backpressure); ``SLEEP``
+        warps and pending L1 returns contribute their wake-up cycles;
+        ``WAIT_MEM``/``DONE`` warps are purely reactive (the reply path
+        calls :meth:`deliver_reply`, which wakes the SM).
+        """
+        wake = FOREVER
+        for warp in self.warps:
+            state = warp.state
+            if state == SLEEP:
+                if warp.wake_cycle < wake:
+                    wake = warp.wake_cycle
+            elif state != WAIT_MEM and state != DONE:
+                return None  # NEW / READY / ISSUING: busy
+        for ready, _ in self._l1_returns:
+            if ready < wake:
+                wake = ready
+        return wake
 
     def reset(self) -> None:
         self.warps.clear()

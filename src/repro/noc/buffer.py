@@ -11,7 +11,7 @@ enqueued when its last flit arrives, and the space is released on pop.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Callable, Deque, Optional
 
 from .packet import Packet
 
@@ -20,7 +20,7 @@ class PacketQueue:
     """FIFO of packets with a flit-capacity bound."""
 
     __slots__ = ("name", "capacity_flits", "_queue", "_used_flits",
-                 "_reserved_flits")
+                 "_reserved_flits", "on_push")
 
     def __init__(self, name: str, capacity_flits: int) -> None:
         if capacity_flits <= 0:
@@ -30,6 +30,10 @@ class PacketQueue:
         self._queue: Deque[Packet] = deque()
         self._used_flits = 0
         self._reserved_flits = 0
+        #: Optional hook fired when a packet lands in the queue.  The
+        #: device wires it to the consuming component's ``wake`` so the
+        #: engine's active-set scheduler learns about new work.
+        self.on_push: Optional[Callable[[], None]] = None
 
     # -- capacity ------------------------------------------------------ #
     @property
@@ -63,6 +67,8 @@ class PacketQueue:
         self._reserved_flits -= packet.flits
         self._used_flits += packet.flits
         self._queue.append(packet)
+        if self.on_push is not None:
+            self.on_push()
 
     def push(self, packet: Packet) -> bool:
         """Reserve-and-commit in one step; False if there is no room."""

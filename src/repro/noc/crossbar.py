@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from ..sim.engine import Component
+from ..sim.engine import Component, FOREVER
 from ..sim.stats import StatsRegistry
 from .arbiter import ArbitrationPolicy, make_policy
 from .buffer import PacketQueue
@@ -113,6 +113,13 @@ class Crossbar(Component):
                 moved = True
             if not moved:
                 break
+
+    def idle_until(self, cycle: int) -> Optional[int]:
+        """Purely reactive: idle exactly when every input queue is empty."""
+        for queue in self.inputs:
+            if queue:
+                return None
+        return FOREVER
 
     def reset(self) -> None:
         self._progress = [0] * len(self.inputs)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..sim.engine import Component
+from ..sim.engine import Component, FOREVER
 from ..sim.stats import StatsRegistry
 from .arbiter import ArbitrationPolicy
 from .buffer import PacketQueue
@@ -91,6 +91,18 @@ class Mux(Component):
         if self._reserved[port]:
             return True
         return self.output.can_reserve(head.flits)
+
+    def idle_until(self, cycle: int) -> Optional[int]:
+        """Purely reactive: idle exactly when every input queue is empty.
+
+        An in-progress packet keeps its head in the input queue until the
+        last flit, so nonempty inputs cover the blocked/backpressured
+        cases too.  New work arrives via the input queues' push hooks.
+        """
+        for queue in self.inputs:
+            if queue:
+                return None
+        return FOREVER
 
     def reset(self) -> None:
         self._progress = [0] * len(self.inputs)

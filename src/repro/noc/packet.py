@@ -20,7 +20,7 @@ WRITE = "write"
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network packet (a memory transaction or its reply).
 

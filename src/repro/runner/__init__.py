@@ -1,0 +1,25 @@
+"""Experiment runner: parallel sweep fan-out, result caching, benchmarks.
+
+Public surface::
+
+    from repro.runner import SimJob, run_jobs, ResultCache
+
+    jobs = [SimJob(fn="repro.runner.workloads.fig10_point",
+                   config=cfg, params={"kind": "tpc", "iteration_count": n})
+            for n in (1, 2, 3, 4, 5)]
+    rows = run_jobs(jobs, workers=4, cache=ResultCache())
+"""
+
+from .bench import bench_engine
+from .cache import ResultCache, code_version
+from .runner import SimJob, execute, resolve, run_jobs
+
+__all__ = [
+    "SimJob",
+    "ResultCache",
+    "bench_engine",
+    "code_version",
+    "execute",
+    "resolve",
+    "run_jobs",
+]

@@ -1,0 +1,126 @@
+"""Engine-scheduling microbenchmark: naive vs active-set strategies.
+
+Times identical seeded workloads under ``engine_strategy="naive"`` (tick
+every component every cycle) and ``"active"`` (active-set scheduling with
+idle fast-forward), checks that the measured channel results are
+bit-identical, and emits ``BENCH_engine.json``::
+
+    python -m repro bench                 # small scale, default workloads
+    python -m repro bench --scale medium
+
+Two representative workloads are measured:
+
+* ``tpc_channel`` — a calibrate-plus-transmit TPC covert-channel run
+  (the paper's core experiment; dense contention phases).
+* ``fig9_sync`` — the Figure 9 synchronised latency trace, whose idle
+  guard slots between symbols are where fast-forward pays off most.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from ..config import GpuConfig
+
+#: Default output file name.
+BENCH_OUTPUT = "BENCH_engine.json"
+
+
+def _tpc_channel(config: GpuConfig, num_bits: int) -> Tuple[int, Any]:
+    from ..channel.tpc_channel import TpcCovertChannel
+
+    channel = TpcCovertChannel(config)
+    channel.calibrate()
+    bits = [i % 2 for i in range(num_bits)]
+    result = channel.transmit(bits)
+    return result.cycles, (result.received_symbols, result.measurements)
+
+
+def _fig9_sync(config: GpuConfig, num_bits: int) -> Tuple[int, Any]:
+    from ..analysis.figures import fig9_latency_trace
+
+    bits, trace = fig9_latency_trace(config, with_sync=True,
+                                     num_bits=num_bits)
+    # fig9 has no single cycle count; use trace length as the work unit
+    # and approximate cycles from the config slot budget below.
+    return 0, (bits, trace)
+
+
+_WORKLOADS: Dict[str, Callable[[GpuConfig, int], Tuple[int, Any]]] = {
+    "tpc_channel": _tpc_channel,
+    "fig9_sync": _fig9_sync,
+}
+
+
+def _time_strategy(
+    workload: Callable[[GpuConfig, int], Tuple[int, Any]],
+    config: GpuConfig,
+    strategy: str,
+    num_bits: int,
+) -> Tuple[float, int, Any]:
+    run_config = config.replace(engine_strategy=strategy)
+    start = time.perf_counter()
+    cycles, fingerprint = workload(run_config, num_bits)
+    elapsed = time.perf_counter() - start
+    return elapsed, cycles, fingerprint
+
+
+def bench_engine(
+    config: GpuConfig,
+    num_bits: int = 24,
+    workloads: Optional[Tuple[str, ...]] = None,
+    output: Union[str, Path, None] = BENCH_OUTPUT,
+) -> Dict[str, Any]:
+    """Benchmark both engine strategies; optionally write a JSON report.
+
+    Returns the report dict.  Raises ``AssertionError`` if any workload
+    produces different results under the two strategies — the active-set
+    engine is only an optimisation if it is cycle-exact.
+    """
+    names = workloads or tuple(_WORKLOADS)
+    report: Dict[str, Any] = {
+        "scales": {
+            "num_sms": config.num_sms,
+            "num_l2_slices": config.num_l2_slices,
+        },
+        "num_bits": num_bits,
+        "workloads": {},
+    }
+    speedups = []
+    for name in names:
+        workload = _WORKLOADS[name]
+        naive_s, cycles, naive_fp = _time_strategy(
+            workload, config, "naive", num_bits
+        )
+        active_s, active_cycles, active_fp = _time_strategy(
+            workload, config, "active", num_bits
+        )
+        assert naive_fp == active_fp, (
+            f"{name}: active-set engine diverged from naive baseline"
+        )
+        assert cycles == active_cycles, (
+            f"{name}: cycle counts diverged ({cycles} vs {active_cycles})"
+        )
+        speedup = naive_s / active_s if active_s > 0 else float("inf")
+        speedups.append(speedup)
+        entry: Dict[str, Any] = {
+            "naive_wall_s": round(naive_s, 4),
+            "active_wall_s": round(active_s, 4),
+            "speedup": round(speedup, 3),
+            "identical": True,
+        }
+        if cycles:
+            entry["cycles"] = cycles
+            entry["naive_cycles_per_s"] = round(cycles / naive_s, 1)
+            entry["active_cycles_per_s"] = round(cycles / active_s, 1)
+        report["workloads"][name] = entry
+    report["min_speedup"] = round(min(speedups), 3)
+    if output is not None:
+        path = Path(output)
+        path.write_text(json.dumps(report, indent=2) + "\n",
+                        encoding="utf-8")
+        report["output"] = str(path)
+    return report

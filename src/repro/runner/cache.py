@@ -1,0 +1,173 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Sweep experiments re-run the same (config, workload, seed) points over and
+over — across CLI invocations, benchmark sessions, and notebook restarts.
+Every one of those points is a pure function of its inputs (all randomness
+flows from the seed recorded in :class:`~repro.config.GpuConfig`), so the
+result can be cached on disk and replayed for free.
+
+The cache key is a SHA-256 over the canonical JSON encoding of:
+
+* the dotted path of the workload function,
+* the full :class:`~repro.config.GpuConfig` (nested dataclasses included),
+* the workload's keyword parameters,
+* the seed, and
+* a *code version* — a hash over every ``.py`` source file of the
+  ``repro`` package, so editing the simulator invalidates the whole cache
+  instead of silently replaying stale results.
+
+Entries are JSON files under ``<root>/<key[:2]>/<key>.json`` written
+atomically (temp file + ``os.replace``), so a crashed or parallel writer
+never leaves a torn entry.  The root defaults to ``.repro_cache`` in the
+working directory and can be overridden with ``$REPRO_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of every ``.py`` file in the ``repro`` package (memoised).
+
+    Any edit to the simulator changes this value and therefore every cache
+    key, which is the only safe default for a cycle-level model where a
+    one-line change can shift every measured latency.
+    """
+    global _code_version
+    if _code_version is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix().encode())
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert dataclasses/tuples to plain JSON types for hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(
+        _jsonable(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+class ResultCache:
+    """On-disk result cache keyed by content hash.
+
+    Results must be JSON-serialisable; callers get back exactly what a
+    JSON round trip of the original produces (tuples become lists), so a
+    cache hit and a fresh run are type-identical.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key(
+        self,
+        fn: str,
+        config: Any,
+        params: Optional[Mapping[str, Any]] = None,
+        seed: Optional[int] = None,
+    ) -> str:
+        """Cache key for one simulation point."""
+        payload = canonical_json(
+            {
+                "fn": fn,
+                "config": config,
+                "params": dict(params or {}),
+                "seed": seed,
+                "code_version": code_version(),
+            }
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Stored result for ``key``, or None.  Torn entries count as miss."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(
+        self,
+        key: str,
+        result: Any,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """Atomically store ``result``; returns its JSON round trip."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"result": result}
+        if meta:
+            entry["meta"] = meta
+        encoded = json.dumps(entry, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(encoded)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return json.loads(encoded)["result"]
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

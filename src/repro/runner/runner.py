@@ -1,0 +1,149 @@
+"""Parallel fan-out of independent simulation points.
+
+Sweeps (Figure 10 iteration counts, Table 2 channels, seed replications)
+are embarrassingly parallel: each point builds its own
+:class:`~repro.gpu.device.GpuDevice` from a config and never shares state
+with its neighbours.  :func:`run_jobs` fans a list of :class:`SimJob`\\ s
+over a ``multiprocessing`` pool and stitches the results back in job
+order, consulting an optional :class:`~repro.runner.cache.ResultCache`
+so repeated sweeps replay instantly.
+
+Workload functions are referenced by *dotted path* (``"pkg.mod.func"``)
+rather than by object so that jobs pickle cheaply and cache keys are
+stable across processes.  A workload must
+
+* accept a :class:`~repro.config.GpuConfig` as its first argument,
+  followed by keyword parameters, and
+* return something JSON-serialisable (results are round-tripped through
+  JSON even when fresh, so cached and uncached runs are type-identical).
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config import GpuConfig
+from .cache import ResultCache
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One independent simulation point.
+
+    Attributes
+    ----------
+    fn:
+        Dotted path of the workload function (``"repro.runner.workloads.
+        fig10_point"``).
+    config:
+        The full GPU configuration for this point.
+    params:
+        Keyword arguments forwarded to the workload.
+    seed:
+        Optional seed override; when set, the job runs with
+        ``config.replace(seed=seed)`` so sweeps over seeds need not build
+        one config per replication by hand.
+    """
+
+    fn: str
+    config: GpuConfig
+    params: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+    def resolved_config(self) -> GpuConfig:
+        if self.seed is None:
+            return self.config
+        return self.config.replace(seed=self.seed)
+
+
+def resolve(path: str) -> Callable[..., Any]:
+    """Import the workload function named by a dotted path."""
+    module_name, _, attr = path.rpartition(".")
+    if not module_name:
+        raise ValueError(f"not a dotted function path: {path!r}")
+    module = importlib.import_module(module_name)
+    try:
+        fn = getattr(module, attr)
+    except AttributeError as exc:
+        raise ValueError(f"{module_name} has no attribute {attr!r}") from exc
+    if not callable(fn):
+        raise ValueError(f"{path} is not callable")
+    return fn
+
+
+def execute(job: SimJob) -> Any:
+    """Run one job in-process and return its JSON round-tripped result."""
+    fn = resolve(job.fn)
+    result = fn(job.resolved_config(), **job.params)
+    return json.loads(json.dumps(result))
+
+
+def _pool_entry(payload: Tuple[int, SimJob]) -> Tuple[int, Any]:
+    index, job = payload
+    return index, execute(job)
+
+
+def run_jobs(
+    jobs: Sequence[SimJob],
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> List[Any]:
+    """Run every job, in parallel where possible; results in job order.
+
+    ``workers=None`` picks ``min(len(jobs), cpu_count)``; ``workers<=1``
+    runs inline (no pool, trivially debuggable).  With a ``cache``, hits
+    are served from disk and only misses are executed (and then stored).
+    ``progress(done, total)`` is invoked after each job completes.
+    """
+    total = len(jobs)
+    results: List[Any] = [None] * total
+    done = 0
+
+    def report() -> None:
+        if progress is not None:
+            progress(done, total)
+
+    pending: List[Tuple[int, SimJob]] = []
+    keys: Dict[int, str] = {}
+    if cache is not None:
+        for index, job in enumerate(jobs):
+            key = cache.key(job.fn, job.resolved_config(), job.params)
+            keys[index] = key
+            hit = cache.get(key)
+            if hit is not None:
+                results[index] = hit
+                done += 1
+                report()
+            else:
+                pending.append((index, job))
+    else:
+        pending = list(enumerate(jobs))
+
+    if not pending:
+        return results
+
+    if workers is None:
+        workers = min(len(pending), multiprocessing.cpu_count())
+
+    if workers <= 1 or len(pending) == 1:
+        for index, job in pending:
+            results[index] = execute(job)
+            done += 1
+            report()
+    else:
+        with multiprocessing.Pool(processes=workers) as pool:
+            for index, result in pool.imap_unordered(_pool_entry, pending):
+                results[index] = result
+                done += 1
+                report()
+
+    if cache is not None:
+        for index, job in pending:
+            results[index] = cache.put(keys[index], results[index])
+
+    return results

@@ -1,0 +1,107 @@
+"""Picklable, cacheable workload functions for the experiment runner.
+
+Each function here is one *sweep point*: it takes a
+:class:`~repro.config.GpuConfig` plus keyword parameters, runs a complete
+simulation, and returns a plain JSON-serialisable dict.  They exist as
+module-level functions (rather than closures inside the figure builders)
+so :class:`~repro.runner.runner.SimJob` can reference them by dotted path
+for multiprocessing dispatch and content-hash caching.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from ..config import GpuConfig
+
+
+def _build_channel(config: GpuConfig, kind: str, params: Any = None):
+    from ..channel.gpc_channel import GpcCovertChannel
+    from ..channel.tpc_channel import TpcCovertChannel
+
+    builders = {
+        "tpc": lambda p: TpcCovertChannel(config, params=p),
+        "multi-tpc": lambda p: TpcCovertChannel.all_channels(config, params=p),
+        "gpc": lambda p: GpcCovertChannel(config, params=p),
+        "multi-gpc": lambda p: GpcCovertChannel.all_channels(config, params=p),
+    }
+    if kind not in builders:
+        raise ValueError(f"unknown channel kind {kind!r}")
+    return builders[kind](params)
+
+
+def _measure(channel, payload_bits: int, seed: int) -> Dict[str, Any]:
+    rng = random.Random(seed)
+    bits = [rng.randint(0, 1) for _ in range(payload_bits)]
+    channel.calibrate(training_symbols=16)
+    result = channel.transmit(bits)
+    return {
+        "cycles": result.cycles,
+        "error_rate": result.error_rate,
+        "bandwidth_bps": result.bandwidth_bps,
+        "bandwidth_mbps": result.bandwidth_mbps,
+    }
+
+
+def fig10_point(
+    config: GpuConfig,
+    kind: str,
+    iteration_count: int,
+    bits_per_channel: int = 10,
+    seed: int = 1021,
+) -> Dict[str, Any]:
+    """One Figure 10 point: bandwidth + error at one iteration count.
+
+    Mirrors :func:`repro.analysis.figures.fig10_panel` exactly (same
+    seed-salt discipline), so a runner-backed sweep reproduces the same
+    numbers as the sequential builder.
+    """
+    probe = _build_channel(config, kind)
+    params = probe.params.with_(iterations=iteration_count)
+    channel = _build_channel(config, kind, params)
+    channel.seed_salt = seed
+    payload = bits_per_channel * channel.num_channels
+    measured = _measure(channel, payload, seed)
+    return {
+        "iterations": iteration_count,
+        "bandwidth_kbps": measured["bandwidth_bps"] / 1e3,
+        "error_rate": measured["error_rate"],
+    }
+
+
+_TABLE2_CASES = {
+    "tpc": "GPU TPC Channel",
+    "multi-tpc": "GPU TPC Channel (all TPCs)",
+    "gpc": "GPU GPC Channel",
+    "multi-gpc": "GPU GPC Channel (all GPCs)",
+}
+
+
+def table2_point(
+    config: GpuConfig,
+    kind: str,
+    bits_per_channel: int = 12,
+    seed: int = 2021,
+) -> Dict[str, Any]:
+    """One Table 2 row: measured summary for one covert channel."""
+    channel = _build_channel(config, kind)
+    channel.seed_salt = seed
+    payload = bits_per_channel * channel.num_channels
+    measured = _measure(channel, payload, seed)
+    return {
+        "channel": _TABLE2_CASES[kind],
+        "error_rate": measured["error_rate"],
+        "bandwidth_mbps": measured["bandwidth_mbps"],
+    }
+
+
+def channel_run(
+    config: GpuConfig,
+    kind: str = "tpc",
+    num_bits: int = 24,
+    seed: int = 7,
+) -> Dict[str, Any]:
+    """Generic seeded channel transmission (used by examples/benchmarks)."""
+    channel = _build_channel(config, kind)
+    return _measure(channel, num_bits, seed)

@@ -1,4 +1,4 @@
-"""Cycle-driven simulation engine.
+"""Cycle-driven simulation engine with active-set scheduling.
 
 The whole GPU model is built from :class:`Component` objects that the
 :class:`Engine` ticks once per cycle in two phases:
@@ -15,14 +15,53 @@ The whole GPU model is built from :class:`Component` objects that the
     occupancy updates), keeping intra-cycle evaluation order-independent
     where it matters.
 
-The engine is deliberately simple — no event queue — because nearly every
-component in the experiments is active every cycle while the channel is
-being driven, and the constant factor of a flat list walk beats a heap.
+Scheduling strategies
+---------------------
+
+``strategy="naive"``
+    The original flat loop: every component is ticked every cycle.  Kept as
+    the reference implementation; the active strategy must be bit-identical
+    to it (the equivalence tests in ``tests/test_engine_active.py`` enforce
+    this on full covert-channel runs).
+
+``strategy="active"`` (default)
+    Active-set scheduling.  Components report, after each tick, whether
+    they have anything left to do via :meth:`Component.idle_until`:
+
+    * ``None`` — busy; keep ticking every cycle (the safe default, so
+      components that never opt in behave exactly as under ``naive``);
+    * a future cycle ``c`` — quiescent until ``c`` barring new input; the
+      engine parks the component and sets a timer;
+    * :data:`FOREVER` — purely reactive; the component is parked until an
+      external event (a queue push, a kernel launch, a DRAM completion)
+      calls :meth:`Component.wake`.
+
+    Because an idle component's ``tick`` is by contract a no-op, skipping
+    it is cycle-exact.  When *nothing* is active — every warp asleep in
+    ``WAIT_MEM``/``WaitUntilClock``, every queue and in-flight buffer
+    empty — the engine fast-forwards the cycle counter directly to the
+    earliest pending timer (or the end of the ``step`` window) instead of
+    spinning through empty cycles.
+
+Mid-cycle wake ordering matches the naive loop: a component woken at an
+index *after* the current scan position is ticked in the same cycle (an
+upstream push is visible downstream within the cycle, as registration
+order is pipeline order); a wake at or before the current position takes
+effect next cycle (exactly when the naive loop would next reach it).
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Callable, List, Optional
+
+#: Sentinel returned by :meth:`Component.idle_until` for "no self-scheduled
+#: work, ever — wake me only on external input".  Any cycle number at or
+#: beyond this is treated as "no timer".
+FOREVER = 1 << 62
+
+#: Accepted Engine scheduling strategies.
+STRATEGIES = ("active", "naive")
 
 
 class Component:
@@ -30,6 +69,10 @@ class Component:
 
     #: Human-readable name used in traces and error messages.
     name: str = "component"
+    #: Back-reference set by :meth:`Engine.register` (one engine at most).
+    _engine: Optional["Engine"] = None
+    #: Position in the engine's registration (= pipeline) order.
+    _engine_index: int = -1
 
     def tick(self, cycle: int) -> None:  # pragma: no cover - interface
         """Advance one cycle of work."""
@@ -40,6 +83,37 @@ class Component:
     def reset(self) -> None:
         """Return to the post-construction state.  Optional."""
 
+    # -- activity contract (active-set scheduling) ---------------------- #
+    def idle_until(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which this component has work.
+
+        Called by the engine immediately after ``tick(cycle)`` under the
+        ``active`` strategy.  Return:
+
+        * ``None`` — busy: tick me again next cycle (default; always
+          correct);
+        * an ``int > cycle`` — my ``tick`` is a no-op until that cycle
+          unless new input arrives (the engine will park me and set a
+          timer);
+        * :data:`FOREVER` — purely reactive: park me until something
+          calls :meth:`wake`.
+
+        The contract is strict: while parked, the component's ``tick``
+        must be a state-preserving no-op, otherwise the active strategy
+        diverges from the naive reference.
+        """
+        return None
+
+    def wake(self) -> None:
+        """Mark this component active (new external input arrived).
+
+        Safe to call from anywhere — components not registered with an
+        engine, or registered with a ``naive`` engine, ignore it.
+        """
+        engine = self._engine
+        if engine is not None:
+            engine.wake(self)
+
 
 class Engine:
     """Ticks registered components in order until stopped.
@@ -48,21 +122,60 @@ class Engine:
     ----------
     components:
         Initial component list; more can be added with :meth:`register`.
+    strategy:
+        ``"active"`` (default) for active-set scheduling with quiescence
+        fast-forward, or ``"naive"`` for the reference tick-everything
+        loop.  Both are cycle-exact with respect to each other.
     """
 
-    def __init__(self, components: Optional[List[Component]] = None) -> None:
+    def __init__(
+        self,
+        components: Optional[List[Component]] = None,
+        strategy: str = "active",
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown engine strategy {strategy!r}; "
+                f"expected one of {STRATEGIES}"
+            )
+        self.strategy = strategy
         self._components: List[Component] = []
         self._post_components: List[Component] = []
         self.cycle: int = 0
+        # -- active-set state ------------------------------------------- #
+        #: Per-component "tick me this cycle" flag (index-parallel).
+        self._active: List[bool] = []
+        #: Whether each component overrides post_tick (index-parallel).
+        self._has_post: List[bool] = []
+        self._num_active: int = 0
+        #: Min-heap of (wake_cycle, index) timers; entries may be stale
+        #: (superseded by an earlier wake) — stale pops are harmless
+        #: because waking an idle component only costs a no-op tick.
+        self._timers: List = []
+        #: Earliest scheduled timer per component, to avoid heap spam.
+        self._timer_at: List[Optional[int]] = []
+        # -- instrumentation -------------------------------------------- #
+        #: Total component ticks actually executed.
+        self.ticks_executed: int = 0
+        #: Cycles skipped in one jump because the whole model was quiescent.
+        self.fast_forwarded_cycles: int = 0
         for component in components or []:
             self.register(component)
 
     def register(self, component: Component) -> Component:
         """Add ``component`` to the tick list and return it."""
+        component._engine = self
+        component._engine_index = len(self._components)
         self._components.append(component)
+        has_post = type(component).post_tick is not Component.post_tick
         # Only components that override post_tick pay for the second phase.
-        if type(component).post_tick is not Component.post_tick:
+        if has_post:
             self._post_components.append(component)
+        self._has_post.append(has_post)
+        # New components start active; the first tick prunes idle ones.
+        self._active.append(True)
+        self._num_active += 1
+        self._timer_at.append(None)
         return component
 
     def register_all(self, components: List[Component]) -> None:
@@ -73,16 +186,122 @@ class Engine:
     def components(self) -> List[Component]:
         return list(self._components)
 
+    @property
+    def num_active(self) -> int:
+        """Components currently in the active set (``active`` strategy)."""
+        return self._num_active
+
+    @property
+    def quiescent(self) -> bool:
+        """True when no component is active (timers may still be pending)."""
+        return self._num_active == 0
+
+    # ------------------------------------------------------------------ #
+    # Wake-up plumbing (active strategy; no-ops under naive).
+    # ------------------------------------------------------------------ #
+    def wake(self, component: Component, at: Optional[int] = None) -> None:
+        """(Re-)activate ``component``.
+
+        With ``at=None`` the component joins the active set immediately:
+        if its pipeline position has not been passed this cycle it is
+        ticked this very cycle, otherwise next cycle — exactly when the
+        naive loop would next run it.  With a future ``at``, a timer is
+        scheduled instead.
+        """
+        index = component._engine_index
+        if at is not None and at > self.cycle:
+            self._schedule(index, at)
+            return
+        if not self._active[index]:
+            self._active[index] = True
+            self._num_active += 1
+
+    def _schedule(self, index: int, at: int) -> None:
+        if at >= FOREVER:
+            return
+        previous = self._timer_at[index]
+        if previous is not None and previous <= at:
+            return  # an equal-or-earlier timer is already pending
+        self._timer_at[index] = at
+        heappush(self._timers, (at, index))
+
+    def _fire_due_timers(self, cycle: int) -> None:
+        timers = self._timers
+        active = self._active
+        while timers and timers[0][0] <= cycle:
+            due, index = heappop(timers)
+            if self._timer_at[index] == due:
+                self._timer_at[index] = None
+            if not active[index]:
+                active[index] = True
+                self._num_active += 1
+
+    # ------------------------------------------------------------------ #
+    # Stepping.
+    # ------------------------------------------------------------------ #
     def step(self, cycles: int = 1) -> int:
         """Run ``cycles`` cycles; return the cycle counter afterwards."""
+        if self.strategy == "naive":
+            return self._step_naive(cycles)
+        return self._step_active(cycles)
+
+    def _step_naive(self, cycles: int) -> int:
         components = self._components
         post_components = self._post_components
         for _ in range(cycles):
             cycle = self.cycle
             for component in components:
                 component.tick(cycle)
+            self.ticks_executed += len(components)
             for component in post_components:
                 component.post_tick(cycle)
+            self.cycle = cycle + 1
+        return self.cycle
+
+    def _step_active(self, cycles: int) -> int:
+        components = self._components
+        active = self._active
+        has_post = self._has_post
+        target = self.cycle + cycles
+        while self.cycle < target:
+            cycle = self.cycle
+            if self._timers:
+                self._fire_due_timers(cycle)
+            if self._num_active == 0:
+                # Whole model quiescent: fast-forward to the earliest
+                # timer (or the end of this step window) in one jump.
+                jump = self._timers[0][0] if self._timers else target
+                if jump > target:
+                    jump = target
+                if jump <= cycle:  # pragma: no cover - defensive
+                    jump = cycle + 1
+                self.fast_forwarded_cycles += jump - cycle
+                self.cycle = jump
+                continue
+            post_due: Optional[List[Component]] = None
+            index = 0
+            # Plain index loop: mid-cycle wakes at higher indices must be
+            # picked up within this same scan (len() can also grow if a
+            # tick registers new components).
+            while index < len(components):
+                if active[index]:
+                    component = components[index]
+                    component.tick(cycle)
+                    self.ticks_executed += 1
+                    if has_post[index]:
+                        if post_due is None:
+                            post_due = [component]
+                        else:
+                            post_due.append(component)
+                    until = component.idle_until(cycle)
+                    if until is not None and until > cycle + 1:
+                        active[index] = False
+                        self._num_active -= 1
+                        self._schedule(index, until)
+                index += 1
+            if post_due is not None:
+                for component in post_due:
+                    component.post_tick(cycle)
             self.cycle = cycle + 1
         return self.cycle
 
@@ -94,20 +313,41 @@ class Engine:
     ) -> int:
         """Step until ``condition()`` is true; raise on ``max_cycles``.
 
+        Semantics (identical under both strategies):
+
+        * ``condition`` is evaluated *before* the first step — a condition
+          that already holds returns immediately at the current cycle —
+          and then every ``check_every`` cycles, so the returned cycle is
+          the first multiple of ``check_every`` (from the starting cycle)
+          at which the condition is observed true.
+        * The budget is exact: the engine never advances more than
+          ``max_cycles`` cycles past the starting cycle.  The final step
+          before the budget runs out is clamped to the remaining cycles,
+          and :class:`TimeoutError` is raised once exactly ``max_cycles``
+          cycles have elapsed with the condition still false.
+
         ``check_every`` amortizes the cost of expensive conditions by only
         evaluating them every N cycles.
         """
         start = self.cycle
         while not condition():
-            if self.cycle - start >= max_cycles:
+            elapsed = self.cycle - start
+            remaining = max_cycles - elapsed
+            if remaining <= 0:
                 raise TimeoutError(
                     f"condition not met within {max_cycles} cycles"
                 )
-            self.step(check_every)
+            self.step(check_every if check_every < remaining else remaining)
         return self.cycle
 
     def reset(self) -> None:
         """Reset the cycle counter and every component."""
         self.cycle = 0
+        self.ticks_executed = 0
+        self.fast_forwarded_cycles = 0
+        self._timers.clear()
+        self._timer_at = [None] * len(self._components)
+        self._active = [True] * len(self._components)
+        self._num_active = len(self._components)
         for component in self._components:
             component.reset()

@@ -9,7 +9,7 @@ dicts) matters: stats updates happen on the per-cycle hot path.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 class Sampler:
@@ -22,7 +22,9 @@ class Sampler:
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
-        self.values: List[float] = [] if keep_values else None  # type: ignore
+        #: Raw observations; only retained when ``keep_values`` is set
+        #: (the per-cycle hot path skips the append entirely otherwise).
+        self.values: Optional[List[float]] = [] if keep_values else None
 
     def add(self, value: float) -> None:
         self.count += 1

@@ -1,0 +1,121 @@
+"""Experiment runner: job dispatch, parallel fan-out, result caching."""
+
+import json
+
+import pytest
+
+from repro.config import small_config
+from repro.runner import ResultCache, SimJob, code_version, run_jobs
+from repro.runner.cache import canonical_json
+from repro.runner.runner import execute, resolve
+
+
+def double(config, factor=2):
+    """Trivial module-level workload (picklable by dotted path)."""
+    return {"seed": config.seed, "value": config.seed * factor}
+
+
+DOUBLE = f"{__name__}.double"
+
+
+class TestResolve:
+    def test_resolves_dotted_path(self):
+        assert resolve(DOUBLE) is double
+
+    def test_rejects_bare_names_and_missing_attrs(self):
+        with pytest.raises(ValueError):
+            resolve("double")
+        with pytest.raises(ValueError):
+            resolve("repro.runner.runner.nonexistent")
+
+    def test_execute_applies_seed_override_and_roundtrips(self):
+        job = SimJob(fn=DOUBLE, config=small_config(), seed=99,
+                     params={"factor": 3})
+        result = execute(job)
+        assert result == {"seed": 99, "value": 297}
+        # JSON round trip: keys are plain str, values plain int.
+        assert json.loads(json.dumps(result)) == result
+
+
+class TestRunJobs:
+    def _jobs(self, count=4):
+        config = small_config()
+        return [SimJob(fn=DOUBLE, config=config, seed=seed)
+                for seed in range(1, count + 1)]
+
+    def test_inline_preserves_job_order(self):
+        results = run_jobs(self._jobs(), workers=1)
+        assert [r["seed"] for r in results] == [1, 2, 3, 4]
+
+    def test_parallel_matches_inline(self):
+        jobs = self._jobs(6)
+        assert run_jobs(jobs, workers=3) == run_jobs(jobs, workers=1)
+
+    def test_progress_callback_sees_every_completion(self):
+        seen = []
+        run_jobs(self._jobs(3), workers=1,
+                 progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_empty_job_list(self):
+        assert run_jobs([], workers=2) == []
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = [SimJob(fn=DOUBLE, config=small_config(), seed=5)]
+        first = run_jobs(jobs, workers=1, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        second = run_jobs(jobs, workers=1, cache=cache)
+        assert cache.hits == 1
+        assert second == first
+
+    def test_key_sensitive_to_config_params_and_seed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = small_config()
+        base = cache.key(DOUBLE, config, {"factor": 2}, seed=1)
+        assert cache.key(DOUBLE, config, {"factor": 3}, seed=1) != base
+        assert cache.key(DOUBLE, config, {"factor": 2}, seed=2) != base
+        bigger = config.replace(num_gpcs=config.num_gpcs)
+        assert cache.key(DOUBLE, bigger, {"factor": 2}, seed=1) == base
+        changed = config.replace(l2_latency=config.l2_latency + 1)
+        assert cache.key(DOUBLE, changed, {"factor": 2}, seed=1) != base
+
+    def test_cached_and_fresh_results_type_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = [SimJob(fn=DOUBLE, config=small_config(), seed=5)]
+        fresh = run_jobs(jobs, workers=1, cache=cache)[0]
+        cached = run_jobs(jobs, workers=1, cache=cache)[0]
+        assert type(fresh) is type(cached)
+        assert fresh == cached
+
+    def test_torn_entry_counts_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key(DOUBLE, small_config(), {}, seed=1)
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{truncated", encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache.key(DOUBLE, small_config(), {}, seed=1), {"x": 1})
+        assert cache.clear() == 1
+        assert cache.clear() == 0
+
+    def test_env_var_sets_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert ResultCache().root == tmp_path / "alt"
+
+    def test_code_version_stable_within_process(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+    def test_canonical_json_handles_dataclasses_and_tuples(self):
+        config = small_config()
+        text = canonical_json({"config": config, "t": (1, 2)})
+        parsed = json.loads(text)
+        assert parsed["t"] == [1, 2]
+        assert parsed["config"]["seed"] == config.seed
