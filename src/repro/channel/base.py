@@ -63,6 +63,9 @@ class CovertChannelBase:
         #: parallel channel has its own baseline because cross-channel
         #: coupling differs between GPCs.
         self._channel_thresholds: Optional[List[float]] = None
+        #: Telemetry manifest of the most recent ``_run`` (None unless
+        #: ``config.telemetry_enabled``).
+        self.last_telemetry: Optional[Dict] = None
 
     # -- subclass interface --------------------------------------------- #
     def default_params(self) -> ChannelParams:
@@ -185,6 +188,8 @@ class CovertChannelBase:
             kernels = [sender_kernel, receiver_kernel, *extra]
             times = device.run_kernels(kernels)
         self._check_placement(sender_kernel, receiver_kernel)
+        if device.telemetry is not None:
+            self.last_telemetry = device.telemetry_manifest()
         per_channel_measurements: Dict[int, List[float]] = {}
         for block, channel in receivers.items():
             series = [
@@ -276,6 +281,7 @@ class CovertChannelBase:
             cycles=cycles,
             measurements=measurements,
             thresholds=list(thresholds),
+            telemetry=self.last_telemetry,
         )
 
     def transmit_bytes(self, data: bytes) -> TransmissionResult:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..config import GpuConfig
 
@@ -56,6 +56,10 @@ class TransmissionResult:
     measurements: Dict[int, List[float]] = field(default_factory=dict)
     #: Decision threshold(s) used by the decoder.
     thresholds: List[float] = field(default_factory=list)
+    #: Telemetry manifest of the transmission's device (link utilization,
+    #: latency percentiles, event counts); None unless the run's config
+    #: had ``telemetry_enabled``.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def num_symbols(self) -> int:
@@ -96,3 +100,41 @@ class TransmissionResult:
             f"{self.bandwidth_mbps:.3f} Mbps, "
             f"error rate {self.error_rate:.4f}"
         )
+
+
+def slot_contention(
+    flits_by_epoch: Dict[int, int],
+    epoch_cycles: int,
+    slot_cycles: int,
+    num_slots: int,
+    start_cycle: int = 0,
+) -> List[int]:
+    """Fold a telemetry link series into per-bit-slot flit counts.
+
+    Aligns a :class:`~repro.telemetry.timeline.LinkSeries` epoch map with
+    the sender's bit schedule: slot ``i`` covers cycles ``[start_cycle +
+    i*slot_cycles, start_cycle + (i+1)*slot_cycles)``.  Epochs straddling
+    a slot boundary are apportioned pro rata, so the result is exact when
+    ``slot_cycles`` is a multiple of ``epoch_cycles`` and a close
+    approximation otherwise.  The returned list is the contention
+    timeline one reads against the transmitted bit pattern: '1' slots
+    (sender streaming) show high flit counts, '0' slots show only the
+    receiver's probe traffic.
+    """
+    if slot_cycles <= 0 or epoch_cycles <= 0 or num_slots <= 0:
+        raise ValueError("slot_cycles, epoch_cycles, num_slots must be > 0")
+    slots = [0.0] * num_slots
+    for epoch, flits in flits_by_epoch.items():
+        lo = epoch * epoch_cycles - start_cycle
+        hi = lo + epoch_cycles
+        if hi <= 0 or lo >= num_slots * slot_cycles:
+            continue
+        first = max(0, lo // slot_cycles)
+        last = min(num_slots - 1, (hi - 1) // slot_cycles)
+        for slot in range(first, last + 1):
+            s_lo = slot * slot_cycles
+            s_hi = s_lo + slot_cycles
+            overlap = min(hi, s_hi) - max(lo, s_lo)
+            if overlap > 0:
+                slots[slot] += flits * overlap / epoch_cycles
+    return [int(round(v)) for v in slots]

@@ -11,6 +11,7 @@ Gives downstream users a zero-code way to run the paper's experiments::
     python -m repro fig15                   # arbitration countermeasures
     python -m repro table2                  # measured channel summary
     python -m repro bench                   # engine strategy benchmark
+    python -m repro trace --figure fig5     # Perfetto trace of a run
 
 ``--scale {small,medium,volta}`` selects the simulated GPU (default
 small: fastest; volta is the full Table-1 V100 and can take minutes).
@@ -170,7 +171,26 @@ def cmd_fig10(args) -> int:
         [(r["iterations"], r["bandwidth_kbps"], r["error_rate"])
          for r in rows],
     ))
+    _print_sweep_latency(rows)
     return 0
+
+
+def _print_sweep_latency(rows) -> None:
+    """One-line sweep-wide L2 round-trip summary from job telemetry."""
+    from .runner import merge_telemetry
+
+    merged = merge_telemetry(rows)
+    if merged is None:
+        return
+    latency = merged["read_latency"]
+    if not latency["count"]:
+        return
+    print(
+        f"L2 round-trip over {merged['devices']} devices: "
+        f"mean {latency['mean']:.1f} cycles "
+        f"(min {latency['min']:.0f}, max {latency['max']:.0f}, "
+        f"n={latency['count']})"
+    )
 
 
 def cmd_fig15(args) -> int:
@@ -214,6 +234,7 @@ def cmd_table2(args) -> int:
         [(r["channel"], r["error_rate"], r["bandwidth_mbps"])
          for r in rows],
     ))
+    _print_sweep_latency(rows)
     return 0
 
 
@@ -232,8 +253,56 @@ def cmd_bench(args) -> int:
             f"speedup {entry['speedup']:.2f}x"
         )
     print(f"min speedup: {report['min_speedup']:.2f}x")
+    telemetry = report["telemetry"]
+    print(
+        f"telemetry    off {telemetry['disabled_wall_s']:7.3f}s  "
+        f"on     {telemetry['enabled_wall_s']:7.3f}s  "
+        f"overhead {telemetry['overhead_frac'] * 100:+.1f}%"
+    )
     if "output" in report:
         print(f"wrote {report['output']}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .telemetry import collecting, write_chrome_trace
+
+    config = _config(args).replace(
+        telemetry_enabled=True,
+        telemetry_ring_capacity=args.ring,
+    )
+    with collecting() as frame:
+        if args.figure == "fig2":
+            from .reveng import sweep_tpc_pairing
+
+            sweep_tpc_pairing(config, ops=args.ops)
+        elif args.figure == "fig5":
+            from .reveng import rw_contention_profile
+
+            rw_contention_profile(config, ops=args.ops)
+        elif args.figure == "fig9":
+            from .analysis.figures import fig9_latency_trace
+
+            fig9_latency_trace(config, with_sync=True, num_bits=args.bits)
+        else:  # transmit
+            from .channel import TpcCovertChannel
+
+            channel = TpcCovertChannel(config)
+            channel.calibrate()
+            channel.transmit([i % 2 for i in range(args.bits)])
+    hubs = frame.hubs()
+    if not hubs:
+        print("no telemetry hubs were created; nothing to export",
+              file=sys.stderr)
+        return 1
+    trace = write_chrome_trace(args.out, hubs)
+    events = sum(len(hub.tracer) for hub in hubs)
+    dropped = sum(hub.tracer.dropped for hub in hubs)
+    print(f"traced {args.figure}: {len(hubs)} device(s), "
+          f"{events} buffered events ({dropped} evicted), "
+          f"{len(trace['traceEvents'])} trace entries")
+    print(f"wrote {args.out} — open at https://ui.perfetto.dev "
+          f"or chrome://tracing")
     return 0
 
 
@@ -295,6 +364,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-output", action="store_true",
                        help="print the summary without writing the report")
 
+    trace = sub.add_parser(
+        "trace",
+        help="run an experiment with telemetry and export a Perfetto trace",
+    )
+    trace.add_argument(
+        "--figure", choices=("fig2", "fig5", "fig9", "transmit"),
+        default="fig5", help="which experiment to trace (default: fig5)",
+    )
+    trace.add_argument("--out", default="trace.json",
+                       help="output file (Chrome trace-event JSON)")
+    trace.add_argument("--bits", type=int, default=16,
+                       help="payload bits for fig9/transmit")
+    trace.add_argument("--ops", type=int, default=8,
+                       help="accesses per kernel for fig2/fig5")
+    trace.add_argument("--ring", type=int, default=262144,
+                       help="event ring-buffer capacity")
+
     return parser
 
 
@@ -308,6 +394,7 @@ COMMANDS = {
     "fig15": cmd_fig15,
     "table2": cmd_table2,
     "bench": cmd_bench,
+    "trace": cmd_trace,
 }
 
 

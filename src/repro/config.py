@@ -220,6 +220,16 @@ class GpuConfig:
     #: as a fallback while debugging new components.
     engine_strategy: str = "active"
 
+    #: NoC telemetry (repro.telemetry): flit-event tracing, latency
+    #: histograms and per-epoch utilization timelines.  Off by default;
+    #: the disabled configuration costs one branch per instrumentation
+    #: site and seeded runs are bit-identical either way.
+    telemetry_enabled: bool = False
+    #: Event ring-buffer capacity (oldest events evicted beyond this).
+    telemetry_ring_capacity: int = 65536
+    #: Cycles per utilization/occupancy timeline epoch.
+    telemetry_epoch_cycles: int = 64
+
     # ------------------------------------------------------------------ #
     # Derived quantities.
     # ------------------------------------------------------------------ #

@@ -31,6 +31,7 @@ from ..noc.packet import Packet
 from ..sim.clock import ClockSystem
 from ..sim.engine import Component, Engine
 from ..sim.stats import StatsRegistry
+from ..telemetry import Telemetry, TimelineProbe, note_device
 from .dram import MemoryController
 from .kernel import Kernel, Stream
 from .l2slice import L2Slice
@@ -53,7 +54,15 @@ class GpuDevice:
         self.engine = Engine(strategy=config.engine_strategy)
         self._seed_salt = seed_salt
         self.clocks = ClockSystem(config, self.engine, seed_salt=seed_salt)
+        #: Telemetry hub; None unless ``config.telemetry_enabled``.
+        self.telemetry: Optional[Telemetry] = (
+            Telemetry.from_config(config) if config.telemetry_enabled
+            else None
+        )
         self._build(l1_enabled)
+        if self.telemetry is not None:
+            self._attach_telemetry()
+        note_device(self)
 
     # ------------------------------------------------------------------ #
     # Construction.
@@ -299,6 +308,58 @@ class GpuDevice:
             )
         for sm in self.sms:
             sm.on_warp_done = self.scheduler.wake
+
+    def _attach_telemetry(self) -> None:
+        """Opt every instrumented component into the telemetry hub.
+
+        Runs only when ``config.telemetry_enabled``: components built
+        with their ``_tracer`` attributes as ``None`` get a tracer and a
+        component id, every packet queue gets an occupancy meter, a
+        :class:`TimelineProbe` joins the engine to flush meters on epoch
+        boundaries, and the engine reports fast-forward jumps to the hub.
+        The probe is purely observational, so seeded runs stay
+        bit-identical with telemetry on or off.
+        """
+        hub = self.telemetry
+        assert hub is not None
+        for sm in self.sms:
+            sm.attach_telemetry(hub)
+        for mux in self.tpc_muxes:
+            mux.attach_telemetry(hub)
+        for mux in self.gpc_muxes:
+            mux.attach_telemetry(hub)
+        self.request_xbar.attach_telemetry(hub)
+        for l2_slice in self.l2_slices:
+            l2_slice.attach_telemetry(hub)
+        for controller in self.controllers:
+            controller.attach_telemetry(hub)
+        for reply_mux in self.reply_muxes:
+            reply_mux.attach_telemetry(hub)
+        for distributor in self.reply_distributors:
+            distributor.attach_telemetry(hub)
+        for queue in self.inject_queues:
+            hub.timeline.register_queue(queue)
+        for queue in self.tpc_queues:
+            hub.timeline.register_queue(queue)
+        for queue in self.gpc_queues:
+            hub.timeline.register_queue(queue)
+        for queue in self.l2_request_queues:
+            hub.timeline.register_queue(queue)
+        for voqs in self.l2_reply_voqs:
+            for queue in voqs:
+                hub.timeline.register_queue(queue)
+        for queue in self.gpc_reply_queues:
+            hub.timeline.register_queue(queue)
+        # Registered last: meters flush after every producer has ticked.
+        self.engine.register(TimelineProbe(hub.timeline))
+        self.engine.on_fast_forward = hub.note_fast_forward
+
+    def telemetry_manifest(self) -> Optional[Dict]:
+        """JSON-safe telemetry summary, or None when telemetry is off."""
+        if self.telemetry is None:
+            return None
+        self.telemetry.finalize(self.engine.cycle)
+        return self.telemetry.manifest(self.stats)
 
     # ------------------------------------------------------------------ #
     # Internal plumbing callbacks.

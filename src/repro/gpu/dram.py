@@ -17,6 +17,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from ..config import DramTiming
 from ..sim.engine import Component, FOREVER
 from ..sim.stats import StatsRegistry
+from ..telemetry.events import DRAM_COMPLETE, DRAM_ISSUE
 from .caches import SetAssociativeCache  # noqa: F401  (re-export convenience)
 
 
@@ -49,7 +50,15 @@ class MemoryController(Component):
         self._queue: Deque[Tuple[int, bool, object]] = deque()
         self._open_row: Dict[int, int] = {}
         self._bank_ready: Dict[int, int] = {}
-        self._in_flight: List[Tuple[int, object]] = []
+        self._in_flight: List[Tuple[int, object, int]] = []
+        # -- telemetry (None unless the device enables it) -------------- #
+        self._tracer = None
+        self._tl_id = 0
+
+    def attach_telemetry(self, hub) -> None:
+        """Opt this controller into issue/complete event tracing."""
+        self._tracer = hub.tracer
+        self._tl_id = hub.register(self.name)
 
     def enqueue(self, address: int, is_write: bool, token: object) -> None:
         self._queue.append((address, is_write, token))
@@ -64,12 +73,13 @@ class MemoryController(Component):
         # Complete finished accesses.
         if self._in_flight:
             still = [
-                (ready, token)
-                for ready, token in self._in_flight
-                if ready > cycle
+                entry for entry in self._in_flight if entry[0] > cycle
             ]
-            for ready, token in self._in_flight:
+            for ready, token, address in self._in_flight:
                 if ready <= cycle:
+                    if self._tracer is not None:
+                        self._tracer.emit(cycle, DRAM_COMPLETE, self._tl_id,
+                                          address)
                     self.on_complete(token, cycle)
             self._in_flight = still
         # Start new accesses on ready banks (FIFO, one start per cycle).
@@ -96,7 +106,9 @@ class MemoryController(Component):
         self._queue.popleft()
         self._open_row[bank] = row
         self._bank_ready[bank] = cycle + latency
-        self._in_flight.append((cycle + latency, token))
+        self._in_flight.append((cycle + latency, token, address))
+        if self._tracer is not None:
+            self._tracer.emit(cycle, DRAM_ISSUE, self._tl_id, address)
 
     def idle_until(self, cycle: int):
         """Idle until the next in-flight completion or bank-ready time.
@@ -106,7 +118,7 @@ class MemoryController(Component):
         bank is still busy parks the controller until the bank frees.
         """
         wake = FOREVER
-        for ready, _ in self._in_flight:
+        for ready, _, _ in self._in_flight:
             if ready < wake:
                 wake = ready
         if self._queue:

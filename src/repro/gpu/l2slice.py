@@ -20,6 +20,7 @@ from ..noc.buffer import PacketQueue
 from ..noc.packet import Packet, READ
 from ..sim.engine import Component, FOREVER
 from ..sim.stats import StatsRegistry
+from ..telemetry.events import L2_HIT, L2_MISS
 from .caches import SetAssociativeCache
 from .dram import MemoryController
 
@@ -67,6 +68,14 @@ class L2Slice(Component):
         self._pipeline: Deque[Tuple[int, Packet]] = deque()
         #: Requests waiting on DRAM, completed by the MC callback.
         self._mshr_ready: Deque[Packet] = deque()
+        # -- telemetry (None unless the device enables it) -------------- #
+        self._tracer = None
+        self._tl_id = 0
+
+    def attach_telemetry(self, hub) -> None:
+        """Opt this slice into hit/miss event tracing."""
+        self._tracer = hub.tracer
+        self._tl_id = hub.register(self.name)
 
     def tick(self, cycle: int) -> None:
         self._drain_pipeline(cycle)
@@ -80,6 +89,9 @@ class L2Slice(Component):
             if self.stats is not None:
                 self.stats.incr(f"{self.name}.requests")
             hit = self.cache.access(self._local(packet.address), allocate=True)
+            if self._tracer is not None:
+                self._tracer.emit(cycle, L2_HIT if hit else L2_MISS,
+                                  self._tl_id, packet.uid, packet.src_sm)
             posted_write = (
                 packet.kind != READ and self.config.write_reply_flits == 0
             )

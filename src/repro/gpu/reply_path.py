@@ -23,6 +23,7 @@ from ..noc.buffer import PacketQueue
 from ..noc.packet import Packet
 from ..sim.engine import Component, FOREVER
 from ..sim.stats import StatsRegistry
+from ..telemetry.events import REPLY_DELIVER
 
 
 class GpcReplyDistributor(Component):
@@ -53,6 +54,18 @@ class GpcReplyDistributor(Component):
         self._progress = 0
         #: Per-TPC residual budget for the current cycle.
         self._tpc_budget: Dict[int, int] = {}
+        # -- telemetry (None unless the device enables it) -------------- #
+        self._tracer = None
+        self._tl_id = 0
+        self._tl_link = None
+
+    def attach_telemetry(self, hub) -> None:
+        """Opt this distributor into tracing and a reply-link series."""
+        self._tracer = hub.tracer
+        self._tl_id = hub.register(self.name)
+        self._tl_link = hub.timeline.register_link(
+            self.name, self.config.gpc_reply_width
+        )
 
     def tick(self, cycle: int) -> None:
         queue = self.input_queue
@@ -83,10 +96,16 @@ class GpcReplyDistributor(Component):
             if self._progress >= packet.flits:
                 queue.pop()
                 self._progress = 0
+                if self._tracer is not None:
+                    self._tracer.emit(cycle, REPLY_DELIVER, self._tl_id,
+                                      packet.uid, packet.src_sm)
                 self.deliver(packet, cycle)
                 if self.stats is not None:
                     self.stats.incr(f"{self.name}.packets")
         self._tpc_budget = tpc_budget
+        moved = self.config.gpc_reply_width - budget
+        if moved and self._tl_link is not None:
+            self._tl_link.add(cycle, moved)
 
     def idle_until(self, cycle: int) -> Optional[int]:
         """Purely reactive: idle exactly when the reply queue is empty."""

@@ -29,6 +29,7 @@ from ..noc.buffer import PacketQueue
 from ..noc.packet import Packet, READ, WRITE
 from ..sim.engine import Component, FOREVER
 from ..sim.stats import StatsRegistry
+from ..telemetry.events import READ_RTT, SM_INJECT
 from .caches import L1Cache
 from .coalescer import coalesce
 from .warp import (
@@ -101,6 +102,20 @@ class StreamingMultiprocessor(Component):
         #: Hook fired when a warp finishes (wired by the device to wake
         #: the thread-block scheduler so it can retire/promote/dispatch).
         self.on_warp_done: Optional[Callable[[], None]] = None
+        #: Round-trip latency histogram (fixed buckets, percentile
+        #: queries) alongside the sampler's running aggregates.
+        self._lat_hist = (
+            None if stats is None
+            else stats.histogram(f"{self.name}.read_latency")
+        )
+        # -- telemetry (None unless the device enables it) -------------- #
+        self._tracer = None
+        self._tl_id = 0
+
+    def attach_telemetry(self, hub) -> None:
+        """Opt this SM into flit-lifecycle event tracing."""
+        self._tracer = hub.tracer
+        self._tl_id = hub.register(self.name)
 
     # ------------------------------------------------------------------ #
     # Occupancy / launch interface (used by the thread-block scheduler).
@@ -322,6 +337,10 @@ class StreamingMultiprocessor(Component):
         warp.outstanding += 1
         if self.stats is not None:
             self.stats.incr(f"{self.name}.injected")
+        if self._tracer is not None:
+            self._tracer.emit(cycle, SM_INJECT, self._tl_id, packet.uid,
+                              1 if txn.kind == WRITE else 0,
+                              packet.slice_id)
         if not warp.pending_issue:
             self._finish_issue_phase(warp, cycle)
         return True
@@ -368,11 +387,16 @@ class StreamingMultiprocessor(Component):
         if warp.op_blocking and packet.group_id == warp.op_group:
             warp.outstanding -= 1
             if warp.outstanding <= 0 and warp.state == WAIT_MEM:
-                if self.stats is not None and packet.kind == READ:
-                    self.stats.sample(
-                        f"{self.name}.read_latency",
-                        cycle - warp.op_start_cycle,
-                    )
+                if packet.kind == READ:
+                    latency = cycle - warp.op_start_cycle
+                    if self.stats is not None:
+                        self.stats.sample(
+                            f"{self.name}.read_latency", latency
+                        )
+                        self._lat_hist.add(latency)
+                    if self._tracer is not None:
+                        self._tracer.emit(cycle, READ_RTT, self._tl_id,
+                                          latency, packet.uid)
                 self._op_done(warp, cycle)
 
     def _complete_l1_returns(self, cycle: int) -> None:

@@ -20,7 +20,7 @@ class PacketQueue:
     """FIFO of packets with a flit-capacity bound."""
 
     __slots__ = ("name", "capacity_flits", "_queue", "_used_flits",
-                 "_reserved_flits", "on_push")
+                 "_reserved_flits", "on_push", "meter")
 
     def __init__(self, name: str, capacity_flits: int) -> None:
         if capacity_flits <= 0:
@@ -34,6 +34,9 @@ class PacketQueue:
         #: device wires it to the consuming component's ``wake`` so the
         #: engine's active-set scheduler learns about new work.
         self.on_push: Optional[Callable[[], None]] = None
+        #: Optional telemetry occupancy meter (``QueueMeter``); stays
+        #: ``None`` unless the device enables telemetry.
+        self.meter = None
 
     # -- capacity ------------------------------------------------------ #
     @property
@@ -67,6 +70,8 @@ class PacketQueue:
         self._reserved_flits -= packet.flits
         self._used_flits += packet.flits
         self._queue.append(packet)
+        if self.meter is not None:
+            self.meter.note(self._used_flits)
         if self.on_push is not None:
             self.on_push()
 

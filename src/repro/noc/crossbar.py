@@ -15,6 +15,7 @@ from typing import Callable, List, Optional
 
 from ..sim.engine import Component, FOREVER
 from ..sim.stats import StatsRegistry
+from ..telemetry.events import XBAR_GRANT, XBAR_XFER
 from .arbiter import ArbitrationPolicy, make_policy
 from .buffer import PacketQueue
 from .packet import Packet
@@ -62,6 +63,19 @@ class Crossbar(Component):
         ]
         self._progress: List[int] = [0] * len(inputs)
         self._reserved: List[bool] = [False] * len(inputs)
+        # -- telemetry (None unless the device enables it) -------------- #
+        self._tracer = None
+        self._tl_id = 0
+        self._tl_out: Optional[List] = None
+
+    def attach_telemetry(self, hub) -> None:
+        """Opt this crossbar into tracing and per-output link series."""
+        self._tracer = hub.tracer
+        self._tl_id = hub.register(self.name)
+        self._tl_out = [
+            hub.timeline.register_link(f"{self.name}.out{out}", self.width)
+            for out in range(len(self.outputs))
+        ]
 
     def tick(self, cycle: int) -> None:
         num_inputs = len(self.inputs)
@@ -98,6 +112,11 @@ class Crossbar(Component):
                 if not self._reserved[port]:
                     self.outputs[out].reserve(packet.flits)
                     self._reserved[port] = True
+                if self._tracer is not None:
+                    if self._progress[port] == 0:
+                        self._tracer.emit(cycle, XBAR_GRANT, self._tl_id,
+                                          port, packet.uid, out)
+                    self._tl_out[out].add(cycle, 1)
                 self._progress[port] += 1
                 input_budget[port] -= 1
                 output_budget[out] -= 1
@@ -110,6 +129,9 @@ class Crossbar(Component):
                     self._reserved[port] = False
                     if self.stats is not None:
                         self.stats.incr(f"{self.name}.packets")
+                    if self._tracer is not None:
+                        self._tracer.emit(cycle, XBAR_XFER, self._tl_id,
+                                          port, packet.uid, out)
                 moved = True
             if not moved:
                 break

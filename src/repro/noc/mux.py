@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from ..sim.engine import Component, FOREVER
 from ..sim.stats import StatsRegistry
+from ..telemetry.events import MUX_GRANT, MUX_XFER
 from .arbiter import ArbitrationPolicy
 from .buffer import PacketQueue
 from .packet import Packet
@@ -50,11 +51,22 @@ class Mux(Component):
         self._progress: List[int] = [0] * len(inputs)
         #: Whether output space is reserved for each input's head packet.
         self._reserved: List[bool] = [False] * len(inputs)
+        # -- telemetry (None unless the device enables it) -------------- #
+        self._tracer = None
+        self._tl_id = 0
+        self._tl_link = None
+
+    def attach_telemetry(self, hub) -> None:
+        """Opt this mux into event tracing and link-utilization series."""
+        self._tracer = hub.tracer
+        self._tl_id = hub.register(self.name)
+        self._tl_link = hub.timeline.register_link(self.name, self.width)
 
     def tick(self, cycle: int) -> None:
         budget = self.width
         inputs = self.inputs
         allowed = self.policy.allowed_inputs(cycle)
+        moved = 0
         while budget > 0:
             heads: List[Optional[Packet]] = [q.head() for q in inputs]
             candidates = [
@@ -72,8 +84,12 @@ class Mux(Component):
             if not self._reserved[port]:
                 self.output.reserve(packet.flits)
                 self._reserved[port] = True
+            if self._tracer is not None and self._progress[port] == 0:
+                self._tracer.emit(cycle, MUX_GRANT, self._tl_id,
+                                  port, packet.uid)
             self._progress[port] += 1
             budget -= 1
+            moved += 1
             last = self._progress[port] >= packet.flits
             self.policy.note_flit(port, packet, last)
             if last:
@@ -83,8 +99,13 @@ class Mux(Component):
                 self._reserved[port] = False
                 if self.stats is not None:
                     self.stats.incr(f"{self.name}.packets")
+                if self._tracer is not None:
+                    self._tracer.emit(cycle, MUX_XFER, self._tl_id,
+                                      port, packet.uid)
             if self.stats is not None:
                 self.stats.incr(f"{self.name}.flits")
+        if moved and self._tl_link is not None:
+            self._tl_link.add(cycle, moved)
 
     def _can_start(self, port: int, head: Packet) -> bool:
         """A packet may (continue to) transmit if output space is secured."""

@@ -12,7 +12,7 @@ Public surface::
 
 from .bench import bench_engine
 from .cache import ResultCache, code_version
-from .runner import SimJob, execute, resolve, run_jobs
+from .runner import SimJob, execute, merge_telemetry, resolve, run_jobs
 
 __all__ = [
     "SimJob",
@@ -20,6 +20,7 @@ __all__ = [
     "bench_engine",
     "code_version",
     "execute",
+    "merge_telemetry",
     "resolve",
     "run_jobs",
 ]

@@ -68,6 +68,41 @@ def _time_strategy(
     return elapsed, cycles, fingerprint
 
 
+def _bench_telemetry(config: GpuConfig, num_bits: int) -> Dict[str, Any]:
+    """Measure the telemetry subsystem's overhead on the channel workload.
+
+    Runs the TPC channel (active strategy) with telemetry off and on,
+    asserts the channel results are bit-identical — observability must
+    never perturb the model — and reports the wall-clock overhead of the
+    enabled instrumentation.
+    """
+    base = config.replace(engine_strategy="active")
+    off_s, off_cycles, off_fp = _time_strategy(
+        _tpc_channel, base.replace(telemetry_enabled=False),
+        "active", num_bits
+    )
+    on_s, on_cycles, on_fp = _time_strategy(
+        _tpc_channel, base.replace(telemetry_enabled=True),
+        "active", num_bits
+    )
+    assert off_fp == on_fp, (
+        "telemetry-enabled run diverged from the telemetry-off baseline"
+    )
+    assert off_cycles == on_cycles, (
+        f"cycle counts diverged with telemetry on "
+        f"({off_cycles} vs {on_cycles})"
+    )
+    overhead = (on_s - off_s) / off_s if off_s > 0 else 0.0
+    return {
+        "workload": "tpc_channel",
+        "disabled_wall_s": round(off_s, 4),
+        "enabled_wall_s": round(on_s, 4),
+        "overhead_frac": round(overhead, 4),
+        "identical": True,
+        "cycles": off_cycles,
+    }
+
+
 def bench_engine(
     config: GpuConfig,
     num_bits: int = 24,
@@ -78,7 +113,9 @@ def bench_engine(
 
     Returns the report dict.  Raises ``AssertionError`` if any workload
     produces different results under the two strategies — the active-set
-    engine is only an optimisation if it is cycle-exact.
+    engine is only an optimisation if it is cycle-exact.  The report also
+    carries a ``"telemetry"`` section measuring the tracing subsystem's
+    overhead (enabled vs disabled) on the channel workload.
     """
     names = workloads or tuple(_WORKLOADS)
     report: Dict[str, Any] = {
@@ -118,6 +155,7 @@ def bench_engine(
             entry["active_cycles_per_s"] = round(cycles / active_s, 1)
         report["workloads"][name] = entry
     report["min_speedup"] = round(min(speedups), 3)
+    report["telemetry"] = _bench_telemetry(config, num_bits)
     if output is not None:
         path = Path(output)
         path.write_text(json.dumps(report, indent=2) + "\n",

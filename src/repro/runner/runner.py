@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..config import GpuConfig
+from ..sim.stats import Sampler
+from ..telemetry import collecting
 from .cache import ResultCache
 
 
@@ -76,10 +78,52 @@ def resolve(path: str) -> Callable[..., Any]:
 
 
 def execute(job: SimJob) -> Any:
-    """Run one job in-process and return its JSON round-tripped result."""
+    """Run one job in-process and return its JSON round-tripped result.
+
+    Dict-shaped results from workloads that built at least one
+    :class:`~repro.gpu.device.GpuDevice` gain a ``"telemetry"`` key — the
+    merged metrics manifest (round-trip latency aggregates plus, with
+    ``telemetry_enabled``, link/event summaries) of every device the job
+    constructed.  Non-dict results and device-less workloads pass through
+    unchanged.
+    """
     fn = resolve(job.fn)
-    result = fn(job.resolved_config(), **job.params)
+    with collecting() as frame:
+        result = fn(job.resolved_config(), **job.params)
+    manifest = frame.manifest()
+    if manifest is not None and isinstance(result, dict):
+        result = dict(result)
+        result["telemetry"] = manifest
     return json.loads(json.dumps(result))
+
+
+def merge_telemetry(results: Sequence[Any]) -> Optional[Dict[str, Any]]:
+    """Aggregate the ``"telemetry"`` sections of a sweep's job results.
+
+    Each worker process summarises its own devices; this folds the
+    per-job round-trip latency summaries back into one sweep-wide
+    :class:`~repro.sim.stats.Sampler` aggregate.  Returns None when no
+    result carried telemetry.
+    """
+    merged = Sampler()
+    jobs_with = 0
+    devices = 0
+    for result in results:
+        if not isinstance(result, dict):
+            continue
+        section = result.get("telemetry")
+        if not section:
+            continue
+        jobs_with += 1
+        devices += section.get("devices", 0)
+        merged.merge(Sampler.from_summary(section.get("read_latency", {})))
+    if not jobs_with:
+        return None
+    return {
+        "jobs": jobs_with,
+        "devices": devices,
+        "read_latency": merged.summary(),
+    }
 
 
 def _pool_entry(payload: Tuple[int, SimJob]) -> Tuple[int, Any]:

@@ -159,6 +159,9 @@ class Engine:
         self.ticks_executed: int = 0
         #: Cycles skipped in one jump because the whole model was quiescent.
         self.fast_forwarded_cycles: int = 0
+        #: Optional observer called as ``on_fast_forward(from, to)`` when
+        #: the active strategy jumps over a quiescent gap (telemetry).
+        self.on_fast_forward: Optional[Callable[[int, int], None]] = None
         for component in components or []:
             self.register(component)
 
@@ -276,6 +279,8 @@ class Engine:
                 if jump <= cycle:  # pragma: no cover - defensive
                     jump = cycle + 1
                 self.fast_forwarded_cycles += jump - cycle
+                if self.on_fast_forward is not None:
+                    self.on_fast_forward(cycle, jump)
                 self.cycle = jump
                 continue
             post_due: Optional[List[Component]] = None

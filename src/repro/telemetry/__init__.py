@@ -1,0 +1,31 @@
+"""NoC observability: event tracing, timelines, and Perfetto export.
+
+Everything in this package is opt-in via ``GpuConfig.telemetry_enabled``
+and structured so that the disabled configuration costs exactly one
+``is not None`` branch at each instrumentation site — seeded runs are
+bit-identical with telemetry on or off (asserted by tests and by
+``python -m repro bench``).
+"""
+
+from . import events
+from .collect import Collector, collecting, note_device
+from .export import chrome_trace, write_chrome_trace
+from .hub import Telemetry, latency_summary
+from .timeline import LinkSeries, QueueMeter, Timeline, TimelineProbe
+from .tracer import Tracer
+
+__all__ = [
+    "events",
+    "Collector",
+    "collecting",
+    "note_device",
+    "chrome_trace",
+    "write_chrome_trace",
+    "Telemetry",
+    "latency_summary",
+    "LinkSeries",
+    "QueueMeter",
+    "Timeline",
+    "TimelineProbe",
+    "Tracer",
+]

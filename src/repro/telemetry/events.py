@@ -1,0 +1,76 @@
+"""Flit-lifecycle event vocabulary for the NoC tracer.
+
+Events are stored as plain 6-tuples ``(cycle, kind, component_id, a, b,
+c)`` — no per-event object, so the enabled tracer costs one tuple and one
+deque append per event.  ``kind`` indexes the tables below; ``a``/``b``/
+``c`` are kind-specific integer payloads named by :data:`KIND_ARGS`.
+
+The lifecycle of one read transaction, in event order:
+
+``SM_INJECT`` (LSU pushes the packet into the SM's injection queue) →
+``MUX_GRANT``/``MUX_XFER`` at the TPC mux, then again at the GPC mux →
+``XBAR_GRANT``/``XBAR_XFER`` across the request crossbar →
+``L2_HIT`` (or ``L2_MISS`` followed by ``DRAM_ISSUE``/``DRAM_COMPLETE``)
+→ ``MUX_GRANT``/``MUX_XFER`` at the reply mux → ``REPLY_DELIVER`` at the
+GPC reply distributor → ``READ_RTT`` when the warp's blocking op
+completes (a *span*: the exporter renders it as a duration event).
+"""
+
+from __future__ import annotations
+
+SM_INJECT = 0
+MUX_GRANT = 1
+MUX_XFER = 2
+XBAR_GRANT = 3
+XBAR_XFER = 4
+L2_HIT = 5
+L2_MISS = 6
+DRAM_ISSUE = 7
+DRAM_COMPLETE = 8
+REPLY_DELIVER = 9
+READ_RTT = 10
+
+#: kind -> human/Perfetto event name.
+KIND_NAMES = (
+    "sm_inject",
+    "mux_grant",
+    "mux_xfer",
+    "xbar_grant",
+    "xbar_xfer",
+    "l2_hit",
+    "l2_miss",
+    "dram_issue",
+    "dram_complete",
+    "reply_deliver",
+    "l2_round_trip",
+)
+
+#: kind -> trace category (Perfetto ``cat`` field).
+KIND_CATEGORIES = (
+    "sm",
+    "mux",
+    "mux",
+    "xbar",
+    "xbar",
+    "l2",
+    "l2",
+    "dram",
+    "dram",
+    "reply",
+    "sm",
+)
+
+#: kind -> names of the (a, b, c) payload fields actually used.
+KIND_ARGS = (
+    ("uid", "is_write", "slice"),   # SM_INJECT
+    ("port", "uid"),                # MUX_GRANT
+    ("port", "uid"),                # MUX_XFER
+    ("port", "uid", "out"),         # XBAR_GRANT
+    ("port", "uid", "out"),         # XBAR_XFER
+    ("uid", "src_sm"),              # L2_HIT
+    ("uid", "src_sm"),              # L2_MISS
+    ("address",),                   # DRAM_ISSUE
+    ("address",),                   # DRAM_COMPLETE
+    ("uid", "src_sm"),              # REPLY_DELIVER
+    ("latency", "uid"),             # READ_RTT
+)

@@ -1,0 +1,139 @@
+"""Chrome trace-event / Perfetto JSON exporter.
+
+Converts one or more :class:`~repro.telemetry.hub.Telemetry` hubs into
+the Chrome trace-event JSON object format (``{"traceEvents": [...]}``),
+which both ``chrome://tracing`` and https://ui.perfetto.dev open
+directly.
+
+Mapping:
+
+* every simulated component becomes a thread (``M``/metadata events name
+  them) under one process per device;
+* point-in-time flit events (mux grants, crossbar transfers, L2 hits,
+  DRAM issue/complete, reply delivery) become instant events (``ph:
+  "i"``);
+* ``READ_RTT`` events become complete spans (``ph: "X"``) stretching
+  from the warp's issue cycle to the delivery cycle — the L2 round-trip
+  the covert-channel receiver thresholds on;
+* per-epoch link-utilization series become counter tracks (``ph: "C"``)
+  so contention windows line up visually with the sender's bit schedule;
+* engine fast-forward jumps become spans on a dedicated thread, making
+  skipped idle stretches visible instead of mysterious gaps.
+
+Timestamps are raw simulator cycles reported as microseconds (1 cycle ==
+1 us in the viewer); absolute wall time is meaningless in a cycle-level
+model, relative spacing is what matters.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from .events import KIND_ARGS, KIND_CATEGORIES, KIND_NAMES, READ_RTT
+
+#: Thread id reserved for engine fast-forward spans (component ids are
+#: dense from 0, so a large fixed id never collides).
+FAST_FORWARD_TID = 999999
+
+
+def chrome_trace(hubs: Iterable) -> Dict[str, Any]:
+    """Render ``hubs`` as a Chrome trace-event JSON object.
+
+    ``hubs`` is an iterable of (finalized) :class:`Telemetry` objects,
+    one per device; each becomes a separate process in the trace.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    for pid, hub in enumerate(hubs):
+        trace_events.append(_meta(pid, 0, "process_name",
+                                  {"name": f"gpu{pid}"}))
+        for tid, name in enumerate(hub.component_names):
+            trace_events.append(_meta(pid, tid, "thread_name",
+                                      {"name": name}))
+        trace_events.append(_meta(pid, FAST_FORWARD_TID, "thread_name",
+                                  {"name": "engine.fast_forward"}))
+
+        for cycle, kind, component, a, b, c in hub.tracer:
+            args = dict(zip(KIND_ARGS[kind], (a, b, c)))
+            if kind == READ_RTT:
+                # Span from issue to delivery: a == latency in cycles.
+                trace_events.append({
+                    "name": KIND_NAMES[kind],
+                    "cat": KIND_CATEGORIES[kind],
+                    "ph": "X",
+                    "ts": cycle - a,
+                    "dur": a,
+                    "pid": pid,
+                    "tid": component,
+                    "args": args,
+                })
+            else:
+                trace_events.append({
+                    "name": KIND_NAMES[kind],
+                    "cat": KIND_CATEGORIES[kind],
+                    "ph": "i",
+                    "s": "t",
+                    "ts": cycle,
+                    "pid": pid,
+                    "tid": component,
+                    "args": args,
+                })
+
+        epoch_cycles = hub.timeline.epoch_cycles
+        for series in hub.timeline.links:
+            if not series.flits:
+                continue
+            name = f"util:{series.name}"
+            for epoch in sorted(series.flits):
+                trace_events.append({
+                    "name": name,
+                    "cat": "link",
+                    "ph": "C",
+                    "ts": epoch * epoch_cycles,
+                    "pid": pid,
+                    "args": {"flits": series.flits[epoch]},
+                })
+        for meter in hub.timeline.meters:
+            if not meter.series:
+                continue
+            name = f"occ:{meter.name}"
+            for epoch in sorted(meter.series):
+                trace_events.append({
+                    "name": name,
+                    "cat": "queue",
+                    "ph": "C",
+                    "ts": epoch * epoch_cycles,
+                    "pid": pid,
+                    "args": {"flits": meter.series[epoch]},
+                })
+
+        for from_cycle, to_cycle in hub.fast_forwards:
+            trace_events.append({
+                "name": "fast_forward",
+                "cat": "engine",
+                "ph": "X",
+                "ts": from_cycle,
+                "dur": to_cycle - from_cycle,
+                "pid": pid,
+                "tid": FAST_FORWARD_TID,
+                "args": {"skipped_cycles": to_cycle - from_cycle},
+            })
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"clock": "sim_cycles", "source": "repro.telemetry"},
+    }
+
+
+def write_chrome_trace(path: str, hubs: Iterable) -> Dict[str, Any]:
+    """Write :func:`chrome_trace` output to ``path``; returns the dict."""
+    trace = chrome_trace(hubs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    return trace
+
+
+def _meta(pid: int, tid: int, name: str,
+          args: Dict[str, Any]) -> Dict[str, Any]:
+    return {"name": name, "ph": "M", "pid": pid, "tid": tid, "args": args}

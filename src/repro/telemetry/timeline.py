@@ -1,0 +1,151 @@
+"""Per-epoch link-utilization and queue-occupancy time series.
+
+Time is divided into fixed *epochs* of ``epoch_cycles`` cycles.  Each NoC
+link (a mux output or a crossbar output port) owns a :class:`LinkSeries`
+that accumulates flits moved per epoch; each :class:`~repro.noc.buffer.
+PacketQueue` can carry a :class:`QueueMeter` that tracks its peak flit
+occupancy within the current epoch.
+
+Flit accounting is event-driven (the component that moves a flit calls
+``LinkSeries.add`` with the current cycle), so idle epochs cost nothing
+and the series stays sparse.  Occupancy peaks are flushed on epoch
+boundaries by a :class:`TimelineProbe` — a regular engine component that
+parks itself between boundaries via the active-set timer mechanism, so
+telemetry-on runs still fast-forward through idle stretches (in
+epoch-sized hops) and telemetry-off runs never register a probe at all.
+
+The probe reads model state and never mutates it, which is what keeps
+seeded runs bit-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.engine import Component
+
+
+class LinkSeries:
+    """Flits moved per epoch over one NoC link."""
+
+    __slots__ = ("name", "width", "epoch_cycles", "flits")
+
+    def __init__(self, name: str, width: int, epoch_cycles: int) -> None:
+        self.name = name
+        #: Flits per cycle the link can carry (utilization denominator).
+        self.width = width
+        self.epoch_cycles = epoch_cycles
+        #: epoch index -> flits moved during that epoch (sparse).
+        self.flits: Dict[int, int] = {}
+
+    def add(self, cycle: int, n: int) -> None:
+        epoch = cycle // self.epoch_cycles
+        flits = self.flits
+        flits[epoch] = flits.get(epoch, 0) + n
+
+    @property
+    def total_flits(self) -> int:
+        return sum(self.flits.values())
+
+    def utilization(self) -> Dict[int, float]:
+        """epoch -> fraction of the link's flit capacity used."""
+        denom = self.width * self.epoch_cycles
+        return {epoch: n / denom for epoch, n in self.flits.items()}
+
+    @property
+    def peak_utilization(self) -> float:
+        if not self.flits:
+            return 0.0
+        return max(self.flits.values()) / (self.width * self.epoch_cycles)
+
+
+class QueueMeter:
+    """Peak flit occupancy of one queue, folded into per-epoch samples."""
+
+    __slots__ = ("name", "queue", "peak", "series")
+
+    def __init__(self, name: str, queue) -> None:
+        self.name = name
+        self.queue = queue
+        #: Running peak since the last epoch flush.
+        self.peak = 0
+        #: epoch index -> peak occupancy (flits) during that epoch; zero
+        #: epochs are omitted to keep long idle runs cheap.
+        self.series: Dict[int, int] = {}
+
+    def note(self, occupancy: int) -> None:
+        if occupancy > self.peak:
+            self.peak = occupancy
+
+    def flush(self, epoch: int) -> None:
+        if self.peak:
+            previous = self.series.get(epoch, 0)
+            if self.peak > previous:
+                self.series[epoch] = self.peak
+        # The standing occupancy seeds the next epoch's peak, so a queue
+        # that stays full without new pushes is still reported full.
+        self.peak = self.queue.used_flits
+
+    @property
+    def peak_flits(self) -> int:
+        current = max(self.series.values()) if self.series else 0
+        return max(current, self.peak)
+
+
+class Timeline:
+    """All link series and queue meters of one device."""
+
+    def __init__(self, epoch_cycles: int = 64) -> None:
+        if epoch_cycles <= 0:
+            raise ValueError("epoch_cycles must be positive")
+        self.epoch_cycles = epoch_cycles
+        self.links: List[LinkSeries] = []
+        self.meters: List[QueueMeter] = []
+
+    def register_link(self, name: str, width: int) -> LinkSeries:
+        series = LinkSeries(name, max(1, width), self.epoch_cycles)
+        self.links.append(series)
+        return series
+
+    def register_queue(self, queue) -> QueueMeter:
+        """Attach a meter to ``queue`` (sets ``queue.meter``)."""
+        meter = QueueMeter(queue.name, queue)
+        queue.meter = meter
+        self.meters.append(meter)
+        return meter
+
+    def flush(self, epoch: int) -> None:
+        for meter in self.meters:
+            meter.flush(epoch)
+
+    def finalize(self, cycle: int) -> None:
+        """Flush the partial epoch at the end of a run (idempotent)."""
+        self.flush(cycle // self.epoch_cycles)
+
+
+class TimelineProbe(Component):
+    """Engine component that flushes occupancy peaks on epoch boundaries.
+
+    Wakes exactly at cycles ``k * epoch_cycles`` under both engine
+    strategies (the active engine via a timer, the naive engine by
+    checking every tick), flushing the epoch that just ended.  Purely
+    observational: reads queue occupancies, mutates no model state.
+    """
+
+    name = "telemetry.probe"
+
+    def __init__(self, timeline: Timeline) -> None:
+        self.timeline = timeline
+        self._next_flush = timeline.epoch_cycles
+
+    def tick(self, cycle: int) -> None:
+        if cycle >= self._next_flush:
+            epoch_cycles = self.timeline.epoch_cycles
+            self.timeline.flush(cycle // epoch_cycles - 1)
+            self._next_flush = (cycle // epoch_cycles + 1) * epoch_cycles
+
+    def idle_until(self, cycle: int) -> Optional[int]:
+        return self._next_flush
+
+    def reset(self) -> None:
+        self._next_flush = self.timeline.epoch_cycles

@@ -1,0 +1,64 @@
+"""Ring-buffered flit-event tracer.
+
+The tracer is a bounded deque of event tuples: once full, recording a new
+event evicts the oldest (and counts it in :attr:`Tracer.dropped`), so an
+arbitrarily long run uses bounded memory and always retains the most
+recent window — which is the window an observer debugging an error burst
+actually wants.
+
+Components never hold a tracer when telemetry is disabled (their
+``_tracer`` attribute stays ``None``), so the disabled hot path costs one
+``is not None`` branch per emission site and performs no calls or
+allocations attributable to this module.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Tuple
+
+#: (cycle, kind, component_id, a, b, c)
+TraceEvent = Tuple[int, int, int, int, int, int]
+
+
+class Tracer:
+    """Bounded ring buffer of :data:`TraceEvent` tuples."""
+
+    __slots__ = ("capacity", "events", "dropped")
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        #: Events evicted because the ring was full.
+        self.dropped = 0
+
+    def emit(
+        self,
+        cycle: int,
+        kind: int,
+        component: int,
+        a: int = 0,
+        b: int = 0,
+        c: int = 0,
+    ) -> None:
+        events = self.events
+        if len(events) == self.capacity:
+            self.dropped += 1
+        events.append((cycle, kind, component, a, b, c))
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever emitted (buffered + evicted)."""
+        return len(self.events) + self.dropped
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0

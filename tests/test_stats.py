@@ -1,6 +1,8 @@
 """Unit tests for the stats registry."""
 
-from repro.sim.stats import Sampler, StatsRegistry
+import pytest
+
+from repro.sim.stats import Histogram, Sampler, StatsRegistry
 
 
 class TestSampler:
@@ -33,6 +35,102 @@ class TestSampler:
         sampler.reset()
         assert sampler.count == 0
         assert sampler.values == []
+
+    def test_merge_folds_aggregates(self):
+        a, b = Sampler(), Sampler()
+        for value in (1.0, 3.0):
+            a.add(value)
+        for value in (5.0, 7.0):
+            b.add(value)
+        a.merge(b)
+        assert a.count == 4
+        assert a.mean == 4.0
+        assert a.minimum == 1.0
+        assert a.maximum == 7.0
+
+    def test_merge_empty_is_identity(self):
+        a = Sampler()
+        a.add(2.0)
+        a.merge(Sampler())
+        assert a.count == 1 and a.mean == 2.0
+
+    def test_merge_concatenates_kept_values(self):
+        a, b = Sampler(keep_values=True), Sampler(keep_values=True)
+        a.add(1.0)
+        b.add(2.0)
+        a.merge(b)
+        assert a.values == [1.0, 2.0]
+
+    def test_summary_roundtrip(self):
+        a = Sampler()
+        for value in (10.0, 30.0):
+            a.add(value)
+        rebuilt = Sampler.from_summary(a.summary())
+        assert rebuilt.count == 2
+        assert rebuilt.mean == 20.0
+        assert rebuilt.minimum == 10.0
+        assert rebuilt.maximum == 30.0
+
+    def test_empty_summary_has_null_extrema(self):
+        summary = Sampler().summary()
+        assert summary == {"count": 0, "mean": 0.0, "min": None,
+                           "max": None, "total": 0.0}
+        assert Sampler.from_summary(summary).count == 0
+
+
+class TestHistogram:
+    def test_percentiles_on_uniform_values(self):
+        hist = Histogram(bucket_width=10, num_buckets=20)
+        for value in range(100):  # one per unit, buckets of 10
+            hist.add(value)
+        assert hist.p50 == 50.0  # upper edge of the bucket holding rank 50
+        assert hist.p95 == 100.0
+        assert hist.count == 100
+        assert hist.mean == pytest.approx(49.5)
+
+    def test_percentile_of_single_value(self):
+        hist = Histogram(bucket_width=16, num_buckets=8)
+        hist.add(33)
+        assert hist.p50 == 48.0  # bucket [32, 48)
+        assert hist.p99 == 48.0
+
+    def test_overflow_reports_observed_max(self):
+        hist = Histogram(bucket_width=10, num_buckets=4)
+        hist.add(5)
+        hist.add(9999)
+        assert hist.overflow == 1
+        assert hist.p99 == 9999.0
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(99) == 0.0
+
+    def test_merge_requires_matching_geometry(self):
+        with pytest.raises(ValueError):
+            Histogram(16, 8).merge(Histogram(32, 8))
+
+    def test_merge_combines_counts(self):
+        a, b = Histogram(10, 10), Histogram(10, 10)
+        a.add(5)
+        b.add(95)
+        a.merge(b)
+        assert a.count == 2
+        assert a.minimum == 5 and a.maximum == 95
+        assert a.p99 == 100.0
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        hist = Histogram(10, 10)
+        hist.add(42)
+        data = json.loads(json.dumps(hist.to_dict()))
+        assert data["count"] == 1
+        assert data["p50"] == 50.0
+
+    def test_reset(self):
+        hist = Histogram(10, 10)
+        hist.add(5)
+        hist.reset()
+        assert hist.count == 0 and sum(hist.buckets) == 0
 
 
 class TestStatsRegistry:
@@ -71,6 +169,46 @@ class TestStatsRegistry:
         stats = StatsRegistry()
         stats.incr("x")
         stats.sample("lat", 1.0)
+        stats.histogram("h").add(1.0)
         stats.reset()
         assert not stats.counters
         assert stats.samplers["lat"].count == 0
+        assert stats.histograms["h"].count == 0
+
+    def test_histogram_reuse_by_name(self):
+        stats = StatsRegistry()
+        assert stats.histogram("lat") is stats.histogram("lat")
+
+    def test_snapshot_includes_sampler_summaries(self):
+        stats = StatsRegistry()
+        stats.incr("x", 3)
+        stats.sample("lat", 10.0)
+        stats.sample("lat", 20.0)
+        snap = stats.snapshot()
+        assert snap["x"] == 3
+        assert snap["samplers"]["lat"] == {
+            "count": 2, "mean": 15.0, "min": 10.0, "max": 20.0,
+            "total": 30.0,
+        }
+
+    def test_snapshot_omits_empty_samplers(self):
+        stats = StatsRegistry()
+        stats.sampler("lat")  # created but never sampled
+        assert "samplers" not in stats.snapshot()
+
+    def test_diff_reports_sampler_interval(self):
+        stats = StatsRegistry()
+        stats.sample("lat", 10.0)
+        before = stats.snapshot()
+        stats.sample("lat", 30.0)
+        delta = stats.diff(before)["samplers"]["lat"]
+        assert delta["count"] == 1
+        assert delta["mean"] == 30.0
+        assert delta["total"] == 30.0
+
+    def test_diff_without_new_samples_has_no_sampler_key(self):
+        stats = StatsRegistry()
+        stats.sample("lat", 10.0)
+        before = stats.snapshot()
+        stats.incr("x")
+        assert stats.diff(before) == {"x": 1}
