@@ -12,9 +12,13 @@ Gives downstream users a zero-code way to run the paper's experiments::
     python -m repro table2                  # measured channel summary
     python -m repro bench                   # engine strategy benchmark
     python -m repro trace --figure fig5     # Perfetto trace of a run
+    python -m repro fuzz --quick            # randomized integrity fuzzing
 
 ``--scale {small,medium,volta}`` selects the simulated GPU (default
 small: fastest; volta is the full Table-1 V100 and can take minutes).
+``--validate`` runs any experiment with the conservation-invariant
+checker attached (``repro.validate``); the run aborts with a structured
+violation naming the cycle and component on the first inconsistency.
 
 Sweep commands (``fig10``, ``table2``) fan their independent points over
 worker processes (``--workers``) and reuse cached results from
@@ -48,7 +52,10 @@ SCALES = {
 
 
 def _config(args) -> GpuConfig:
-    return SCALES[args.scale]()
+    config = SCALES[args.scale]()
+    if getattr(args, "validate", False):
+        config = config.replace(validate_enabled=True)
+    return config
 
 
 def cmd_info(args) -> int:
@@ -306,6 +313,38 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .validate import fuzz
+
+    runs = 6 if args.quick and args.runs is None else (args.runs or 25)
+
+    def report(case) -> None:
+        status = "ok  " if case.ok else "FAIL"
+        print(
+            f"{status} case seed={case.seed} cycles={case.cycles} "
+            f"packets={case.injected} [{case.summary}]"
+        )
+        if not case.ok:
+            print(f"     {case.failure}")
+
+    outcome = fuzz(
+        runs=runs,
+        seed=args.seed,
+        max_cycles=args.cycles,
+        oracle=not args.no_oracle,
+        on_case=report,
+    )
+    failed = len(outcome.failures)
+    print(f"{len(outcome.cases)} case(s), {failed} failure(s)")
+    if failed:
+        print(
+            "replay a failing case with: "
+            f"python -m repro fuzz --seed {outcome.failures[0].seed} --runs 1",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -314,6 +353,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scale", choices=sorted(SCALES), default="small",
         help="simulated GPU size (default: small)",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="run with conservation-invariant checking enabled "
+             "(repro.validate; aborts on the first inconsistency)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -381,6 +425,21 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--ring", type=int, default=262144,
                        help="event ring-buffer capacity")
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="randomized integrity fuzzing (invariants + lockstep oracle)",
+    )
+    fuzz.add_argument("--runs", type=int, default=None,
+                      help="number of cases (default: 25, or 6 with --quick)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first case seed (cases use seed..seed+runs-1)")
+    fuzz.add_argument("--cycles", type=int, default=200_000,
+                      help="per-case cycle budget before declaring no-drain")
+    fuzz.add_argument("--no-oracle", action="store_true",
+                      help="skip the naive-vs-active lockstep comparison")
+    fuzz.add_argument("--quick", action="store_true",
+                      help="CI mode: a small time-boxed case budget")
+
     return parser
 
 
@@ -395,6 +454,7 @@ COMMANDS = {
     "table2": cmd_table2,
     "bench": cmd_bench,
     "trace": cmd_trace,
+    "fuzz": cmd_fuzz,
 }
 
 

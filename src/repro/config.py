@@ -220,6 +220,18 @@ class GpuConfig:
     #: as a fallback while debugging new components.
     engine_strategy: str = "active"
 
+    #: Simulation-integrity validation (repro.validate): a conservation
+    #: InvariantChecker audits packet delivery, queue flit accounting and
+    #: switch reserve/commit state, raising a structured
+    #: InvariantViolation naming the cycle and component on the first
+    #: inconsistency.  Off by default; the disabled configuration costs
+    #: one branch per hook site (same pattern as telemetry) and seeded
+    #: runs are bit-identical either way (the checker only reads state).
+    validate_enabled: bool = False
+    #: Cycles between invariant audits (1 = every cycle).  Larger values
+    #: keep quiescence fast-forward effective on long idle stretches.
+    validate_interval: int = 1
+
     #: NoC telemetry (repro.telemetry): flit-event tracing, latency
     #: histograms and per-epoch utilization timelines.  Off by default;
     #: the disabled configuration costs one branch per instrumentation
@@ -249,6 +261,8 @@ class GpuConfig:
                 f"unknown engine_strategy {self.engine_strategy!r}; "
                 f"expected 'active' or 'naive'"
             )
+        if self.validate_interval <= 0:
+            raise ValueError("validate_interval must be positive")
 
     @property
     def num_tpcs(self) -> int:

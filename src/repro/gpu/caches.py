@@ -56,6 +56,7 @@ class SetAssociativeCache:
         ]
         self.hits = 0
         self.misses = 0
+        self._seed = seed
         import random as _random
 
         self._rng = _random.Random((seed << 8) ^ 0xCACE)
@@ -112,6 +113,34 @@ class SetAssociativeCache:
             entries.clear()
         self.hits = 0
         self.misses = 0
+
+    def reset(self) -> None:
+        """Restore construction state: empty tag store AND a fresh rng.
+
+        ``invalidate_all`` deliberately keeps the replacement rng stream
+        running (a mid-run flush must not replay eviction decisions);
+        a *reset* by contrast promises a device indistinguishable from a
+        freshly built one, which requires reseeding.
+        """
+        self.invalidate_all()
+        import random as _random
+
+        self._rng = _random.Random((self._seed << 8) ^ 0xCACE)
+
+    def state_digest(self):
+        """Compact comparable summary of tag-store + rng state.
+
+        Tag contents are folded into one hash (a full 768-line dump per
+        compare would dominate oracle runtime); hit/miss counters and the
+        replacement rng are included so two caches that merely happen to
+        hold the same lines after different histories still differ.
+        """
+        return (
+            self.hits,
+            self.misses,
+            hash(tuple(tuple(entries) for entries in self._sets)),
+            hash(self._rng.getstate()[1]),
+        )
 
     @property
     def accesses(self) -> int:

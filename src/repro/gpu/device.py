@@ -62,6 +62,15 @@ class GpuDevice:
         self._build(l1_enabled)
         if self.telemetry is not None:
             self._attach_telemetry()
+        #: Conservation checker; None unless ``config.validate_enabled``.
+        #: Imported lazily so the validate package (which builds devices
+        #: for its lockstep oracle) never forms an import cycle.
+        self._validator = None
+        if config.validate_enabled:
+            from ..validate.invariants import InvariantChecker
+
+            InvariantChecker.attach(self)
+        self.engine.on_reset = self._reset_observability
         note_device(self)
 
     # ------------------------------------------------------------------ #
@@ -369,7 +378,22 @@ class GpuDevice:
         l2_slice.dram_complete(packet, cycle)
 
     def _deliver_reply(self, packet: Packet, cycle: int) -> None:
+        if self._validator is not None:
+            self._validator.note_deliver(packet, cycle)
         self.sms[packet.src_sm].deliver_reply(packet, cycle)
+
+    def _reset_observability(self) -> None:
+        """Engine ``reset`` hook: clear everything the engine cannot see.
+
+        Component state is reset by the engine itself; this clears the
+        layers riding on top — stats, telemetry, and the clock system's
+        jitter stream (not a Component) — so a run after
+        :meth:`Engine.reset` behaves exactly like a fresh device.
+        """
+        self.stats.reset()
+        self.clocks.reset()
+        if self.telemetry is not None:
+            self.telemetry.reset()
 
     # ------------------------------------------------------------------ #
     # Public API.
@@ -438,6 +462,34 @@ class GpuDevice:
         self.preload_l2(range(start, base + size_bytes, line))
 
     # -- introspection --------------------------------------------------- #
+    @property
+    def validator(self):
+        """The attached invariant checker, or None when validation is off."""
+        return self._validator
+
+    def assert_drained(self, max_cycles: int = 100_000) -> None:
+        """Step until every injected packet is delivered, then audit.
+
+        Posted writes can still be crossing the NoC when the last warp
+        retires (the warp does not wait for the write acknowledgement), so
+        a conservation check at ``run()``-exit must first drain the
+        network.  Raises ``InvariantViolation`` if packets remain after
+        ``max_cycles`` or a final audit fails.  No-op without a validator.
+        """
+        checker = self._validator
+        if checker is None:
+            return
+        try:
+            self.engine.run_until(
+                lambda: checker.in_flight_count == 0,
+                max_cycles=max_cycles,
+                check_every=16,
+            )
+        except TimeoutError:
+            pass  # check_drained below reports the stuck packets
+        checker.check_drained(self.engine.cycle)
+        checker.audit(self.engine.cycle)
+
     def smid_of_block(self, kernel: Kernel, block_id: int) -> Optional[int]:
         """What ``%smid`` returned for a dispatched block."""
         return kernel.blocks[block_id].sm_id

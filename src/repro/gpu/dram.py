@@ -131,6 +131,33 @@ class MemoryController(Component):
                 wake = bank_ready
         return wake
 
+    def state_digest(self):
+        """Queue/bank/in-flight state (lockstep oracle).
+
+        Tokens are ``(l2_slice, packet)`` pairs from the L2; only the
+        packet half is comparable across devices, which is enough — the
+        slice is implied by the address.
+        """
+
+        def token_sig(token):
+            packet = token[1] if isinstance(token, tuple) else None
+            return None if packet is None else packet.signature()
+
+        return (
+            tuple(
+                (address, is_write, token_sig(token))
+                for address, is_write, token in self._queue
+            ),
+            tuple(sorted(self._open_row.items())),
+            tuple(sorted(self._bank_ready.items())),
+            tuple(
+                sorted(
+                    (ready, address, token_sig(token))
+                    for ready, token, address in self._in_flight
+                )
+            ),
+        )
+
     def reset(self) -> None:
         self._queue.clear()
         self._open_row.clear()

@@ -190,7 +190,23 @@ class L2Slice(Component):
         """Whether the line holding ``address`` is currently cached."""
         return self.cache.probe(self._local(address))
 
+    def state_digest(self):
+        """Pipeline/MSHR/tag-store state plus the slice's queues."""
+        return (
+            tuple(
+                (ready, packet.signature()) for ready, packet in self._pipeline
+            ),
+            tuple(packet.signature() for packet in self._mshr_ready),
+            self.cache.state_digest(),
+            self.request_queue.state_digest(),
+            tuple(queue.state_digest() for queue in self.reply_queues),
+        )
+
     def reset(self) -> None:
-        self.cache.invalidate_all()
+        self.cache.reset()  # invalidate AND reseed the replacement rng
         self._pipeline.clear()
         self._mshr_ready.clear()
+        # The request queue belongs to this slice (the crossbar clears
+        # its own *input* queues); without this, packets queued at reset
+        # time would survive into the next run.
+        self.request_queue.clear()

@@ -111,7 +111,13 @@ class GpcReplyDistributor(Component):
         """Purely reactive: idle exactly when the reply queue is empty."""
         return None if self.input_queue else FOREVER
 
+    def state_digest(self):
+        """Head progress plus the reply queue feeding this GPC."""
+        return (self._progress, self.input_queue.state_digest())
+
     def reset(self) -> None:
         self._progress = 0
         self._tpc_budget.clear()
         self.input_queue.clear()
+        if self._tl_link is not None:
+            self._tl_link.reset()

@@ -165,6 +165,16 @@ class ThreadBlockScheduler(Component):
                     return None
         return FOREVER
 
+    def state_digest(self):
+        """Dispatch state by counts (kernel ids are process-global)."""
+        return (
+            tuple(len(resident) for resident in self._resident),
+            tuple(
+                (stream.running is not None, len(stream.pending))
+                for stream in self.streams
+            ),
+        )
+
     def reset(self) -> None:
         self.streams.clear()
         self._resident = [[] for _ in self.sms]

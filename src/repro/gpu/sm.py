@@ -111,6 +111,9 @@ class StreamingMultiprocessor(Component):
         # -- telemetry (None unless the device enables it) -------------- #
         self._tracer = None
         self._tl_id = 0
+        #: Conservation checker (None unless the device enables
+        #: validation); same one-branch-when-disabled pattern as _tracer.
+        self._validator = None
 
     def attach_telemetry(self, hub) -> None:
         """Opt this SM into flit-lifecycle event tracing."""
@@ -341,6 +344,8 @@ class StreamingMultiprocessor(Component):
             self._tracer.emit(cycle, SM_INJECT, self._tl_id, packet.uid,
                               1 if txn.kind == WRITE else 0,
                               packet.slice_id)
+        if self._validator is not None:
+            self._validator.note_inject(packet, cycle)
         if not warp.pending_issue:
             self._finish_issue_phase(warp, cycle)
         return True
@@ -436,11 +441,39 @@ class StreamingMultiprocessor(Component):
                 wake = ready
         return wake
 
+    def state_digest(self):
+        """Warp, credit, and rng state (lockstep oracle).
+
+        Warp slots are summarised by their scheduler-visible fields; warp
+        program generators themselves advance deterministically given the
+        same resume sequence, so they need no direct representation.
+        """
+        return (
+            tuple(
+                (
+                    warp.state,
+                    warp.wake_cycle,
+                    warp.outstanding,
+                    len(warp.pending_issue),
+                    warp.op_group,
+                    warp.op_blocking,
+                    warp.op_start_cycle,
+                )
+                for warp in self.warps
+            ),
+            self._sched_pointer,
+            self._read_credits,
+            self._write_credits,
+            tuple(sorted(ready for ready, _ in self._l1_returns)),
+            hash(self._rng.getstate()[1]),
+            self.inject_queue.state_digest(),
+        )
+
     def reset(self) -> None:
         self.warps.clear()
         self._sched_pointer = 0
         self._read_credits = self.config.sm_mshrs
         self._write_credits = self.config.sm_write_buffer
         self._l1_returns.clear()
-        self.l1.cache.invalidate_all()
+        self.l1.cache.reset()  # invalidate AND reseed the replacement rng
         self._rng = random.Random(self._noise_seed)

@@ -55,6 +55,14 @@ class ArbitrationPolicy:
     def reset(self) -> None:
         """Return to initial state."""
 
+    def state_digest(self):
+        """Comparable summary of mutable policy state (lockstep oracle).
+
+        Stateless policies return an empty tuple; stateful ones override
+        this with their pointer/grant/rng state.
+        """
+        return ()
+
 
 class RoundRobin(ArbitrationPolicy):
     """Locally-fair round-robin at packet granularity.
@@ -91,6 +99,9 @@ class RoundRobin(ArbitrationPolicy):
     def reset(self):
         self._pointer = 0
         self._locked = None
+
+    def state_digest(self):
+        return (self._pointer, self._locked)
 
 
 class CoarseRoundRobin(ArbitrationPolicy):
@@ -132,6 +143,9 @@ class CoarseRoundRobin(ArbitrationPolicy):
         self._pointer = 0
         self._hold_port = None
         self._group = None
+
+    def state_digest(self):
+        return (self._pointer, self._hold_port, self._group)
 
 
 class StrictRoundRobin(ArbitrationPolicy):
@@ -190,6 +204,11 @@ class RandomArbiter(ArbitrationPolicy):
 
     def reset(self):
         self._rng = random.Random(self._seed)
+
+    def state_digest(self):
+        # The Mersenne state tuple is large; a hash of it is enough to
+        # detect two rngs that have consumed different draw counts.
+        return (hash(self._rng.getstate()[1]),)
 
 
 _POLICIES = {

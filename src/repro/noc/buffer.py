@@ -99,6 +99,23 @@ class PacketQueue:
         return bool(self._queue)
 
     def clear(self) -> None:
+        """Discard all queued packets and outstanding reservations.
+
+        A clear is a queue-level reset, so any attached telemetry meter is
+        told the occupancy collapsed to zero — otherwise its standing
+        epoch peak would keep reporting pre-clear occupancy after an
+        engine reset.
+        """
         self._queue.clear()
         self._used_flits = 0
         self._reserved_flits = 0
+        if self.meter is not None:
+            self.meter.note_cleared()
+
+    def state_digest(self):
+        """Identity-free state tuple for the lockstep oracle."""
+        return (
+            self._used_flits,
+            self._reserved_flits,
+            tuple(packet.signature() for packet in self._queue),
+        )

@@ -143,6 +143,31 @@ class Crossbar(Component):
                 return None
         return FOREVER
 
+    def reserved_demand(self):
+        """Yield ``(output_queue, flits)`` per held output reservation.
+
+        Mirrors :meth:`repro.noc.mux.Mux.reserved_demand`; the output a
+        reservation was made against is recomputed from the head packet's
+        route, which is stable while the packet sits at the head.
+        """
+        for port, held in enumerate(self._reserved):
+            if held:
+                head = self.inputs[port].head()
+                if head is None:
+                    yield self.outputs[0], 0
+                else:
+                    yield self.outputs[self.route(head)], head.flits
+
+    def state_digest(self):
+        """Progress/reservation state plus every attached queue."""
+        return (
+            tuple(self._progress),
+            tuple(self._reserved),
+            tuple(policy.state_digest() for policy in self._policies),
+            tuple(queue.state_digest() for queue in self.inputs),
+            tuple(queue.state_digest() for queue in self.outputs),
+        )
+
     def reset(self) -> None:
         self._progress = [0] * len(self.inputs)
         self._reserved = [False] * len(self.inputs)
@@ -150,3 +175,6 @@ class Crossbar(Component):
             policy.reset()
         for queue in self.inputs:
             queue.clear()
+        if self._tl_out is not None:
+            for series in self._tl_out:
+                series.reset()

@@ -125,9 +125,36 @@ class Mux(Component):
                 return None
         return FOREVER
 
+    def reserved_demand(self):
+        """Yield ``(output_queue, flits)`` for each held output reservation.
+
+        The invariant checker sums these across every switch to verify
+        that each queue's ``reserved`` flits are exactly accounted for by
+        in-flight packets — i.e. that every ``reserve`` is matched by
+        exactly one eventual ``commit``.
+        """
+        for port, held in enumerate(self._reserved):
+            if held:
+                head = self.inputs[port].head()
+                yield self.output, (0 if head is None else head.flits)
+
+    def state_digest(self):
+        """Progress/reservation state plus the queues this mux touches."""
+        return (
+            tuple(self._progress),
+            tuple(self._reserved),
+            self.policy.state_digest(),
+            tuple(queue.state_digest() for queue in self.inputs),
+            self.output.state_digest(),
+        )
+
     def reset(self) -> None:
         self._progress = [0] * len(self.inputs)
         self._reserved = [False] * len(self.inputs)
         self.policy.reset()
         for queue in self.inputs:
             queue.clear()
+        # Attached telemetry resets with the component, so a reset device
+        # reports exactly what a freshly-built one would.
+        if self._tl_link is not None:
+            self._tl_link.reset()

@@ -44,6 +44,10 @@ class Packet:
     group_id:
         Warp-level group tag used by coarse-grain round-robin arbitration
         (all transactions of one warp memory op share a group id).
+    req_uid:
+        On a reply packet, the ``uid`` of the request it answers (-1 on
+        requests).  The conservation checker uses it to match a delivery
+        back to the injected request.
     """
 
     kind: str
@@ -56,6 +60,7 @@ class Packet:
     group_id: int = -1
     #: Cycle the packet was created (age-based arbitration, latency stats).
     birth_cycle: int = 0
+    req_uid: int = -1
     uid: int = field(default_factory=lambda: next(_packet_ids))
 
     def make_reply(self, flits: int, cycle: int) -> "Packet":
@@ -70,4 +75,24 @@ class Packet:
             warp_ref=self.warp_ref,
             group_id=self.group_id,
             birth_cycle=cycle,
+            req_uid=self.uid,
+        )
+
+    def signature(self):
+        """Identity-free state tuple, comparable across devices.
+
+        Excludes ``uid``/``req_uid`` (drawn from a process-global counter,
+        so two separately-built devices disagree on them) and ``warp_ref``
+        (an object reference); every field that the simulation's timing
+        depends on is included.
+        """
+        return (
+            self.kind,
+            self.is_reply,
+            self.address,
+            self.flits,
+            self.src_sm,
+            self.slice_id,
+            self.group_id,
+            self.birth_cycle,
         )

@@ -41,15 +41,21 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 _code_version: Optional[str] = None
 
 
-def code_version() -> str:
+def code_version(refresh: bool = False) -> str:
     """Hash of every ``.py`` file in the ``repro`` package (memoised).
 
     Any edit to the simulator changes this value and therefore every cache
     key, which is the only safe default for a cycle-level model where a
     one-line change can shift every measured latency.
+
+    The memo exists because sweeps compute thousands of keys; it goes
+    stale if the source tree changes while the process lives (a notebook
+    kernel spanning an edit/reload cycle).  ``refresh=True`` rehashes the
+    tree and replaces the memo — :class:`ResultCache` does this once per
+    construction, so every new cache sees the code that is on disk *now*.
     """
     global _code_version
-    if _code_version is None:
+    if _code_version is None or refresh:
         package_root = Path(__file__).resolve().parent.parent
         digest = hashlib.sha256()
         for path in sorted(package_root.rglob("*.py")):
@@ -96,6 +102,11 @@ class ResultCache:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: Code version pinned at construction.  Forcing a refresh here
+        #: (rather than trusting the module-level memo) means a cache
+        #: built after an in-process source edit keys on the *current*
+        #: tree, not whatever the first import hashed.
+        self.code_version = code_version(refresh=True)
 
     def key(
         self,
@@ -111,7 +122,7 @@ class ResultCache:
                 "config": config,
                 "params": dict(params or {}),
                 "seed": seed,
-                "code_version": code_version(),
+                "code_version": self.code_version,
             }
         )
         return hashlib.sha256(payload.encode()).hexdigest()
@@ -120,16 +131,33 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Any]:
-        """Stored result for ``key``, or None.  Torn entries count as miss."""
+        """Stored result for ``key``, or None.
+
+        Any unreadable entry — missing file, torn/partial JSON, or a
+        well-formed JSON document without a ``"result"`` key (e.g. a
+        foreign file dropped into the cache tree) — counts as a miss
+        rather than propagating an exception into a sweep.
+        """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+            result = entry["result"]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
             self.misses += 1
             return None
         self.hits += 1
-        return entry["result"]
+        return result
+
+    def meta(self, key: str) -> Optional[Dict[str, Any]]:
+        """Stored metadata for ``key`` (None if absent or unreadable)."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            meta = entry.get("meta")
+        except (OSError, json.JSONDecodeError, AttributeError):
+            return None
+        return meta if isinstance(meta, dict) else None
 
     def put(
         self,
@@ -137,12 +165,16 @@ class ResultCache:
         result: Any,
         meta: Optional[Dict[str, Any]] = None,
     ) -> Any:
-        """Atomically store ``result``; returns its JSON round trip."""
+        """Atomically store ``result``; returns its JSON round trip.
+
+        The entry's ``meta`` always records the code version the result
+        was produced under, so entries stay self-describing even when
+        inspected outside the keying scheme.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"result": result}
-        if meta:
-            entry["meta"] = meta
+        entry["meta"] = {"code_version": self.code_version, **(meta or {})}
         encoded = json.dumps(entry, sort_keys=True)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"

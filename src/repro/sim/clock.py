@@ -60,6 +60,10 @@ class ClockSystem:
         ]
         self._read_jitter = skew.read_jitter
         self._fuzz = config.clock_fuzz
+        #: RNG state right after the offset draws; reset() rewinds the
+        #: per-read jitter stream to here so a device reset replays
+        #: exactly like a freshly built device.
+        self._initial_rng_state = rng.getstate()
 
     @property
     def config(self) -> GpuConfig:
@@ -95,3 +99,12 @@ class ClockSystem:
     def skew_between(self, sm_a: int, sm_b: int) -> int:
         """Static skew (absolute difference) between two SMs' registers."""
         return abs(self.base_offset(sm_a) - self.base_offset(sm_b))
+
+    def reset(self) -> None:
+        """Rewind the jitter/fuzz stream to its post-construction state.
+
+        The static offsets are fixed for the device's lifetime; only the
+        per-read stream advances, and a device reset must rewind it so
+        post-reset clock reads match a fresh device's.
+        """
+        self._rng.setstate(self._initial_rng_state)

@@ -83,6 +83,18 @@ class Component:
     def reset(self) -> None:
         """Return to the post-construction state.  Optional."""
 
+    def state_digest(self):
+        """Comparable summary of this component's mutable state.
+
+        Used by the lockstep oracle (``repro.validate.oracle``) to compare
+        two engines running the same seeded workload under different
+        scheduling strategies.  Must be cheap, hashable, and must not
+        include identity-bound values (object ids, global counters such
+        as packet uids) that differ between separately-built devices.
+        Return ``None`` (the default) to opt out of comparison.
+        """
+        return None
+
     # -- activity contract (active-set scheduling) ---------------------- #
     def idle_until(self, cycle: int) -> Optional[int]:
         """Earliest future cycle at which this component has work.
@@ -162,6 +174,11 @@ class Engine:
         #: Optional observer called as ``on_fast_forward(from, to)`` when
         #: the active strategy jumps over a quiescent gap (telemetry).
         self.on_fast_forward: Optional[Callable[[int, int], None]] = None
+        #: Optional observer called at the end of :meth:`reset`, after
+        #: every component has been reset.  The device wires this to its
+        #: telemetry/stats reset so an engine reset leaves no stale
+        #: observability state behind.
+        self.on_reset: Optional[Callable[[], None]] = None
         for component in components or []:
             self.register(component)
 
@@ -356,3 +373,5 @@ class Engine:
         self._num_active = len(self._components)
         for component in self._components:
             component.reset()
+        if self.on_reset is not None:
+            self.on_reset()

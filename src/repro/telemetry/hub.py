@@ -61,6 +61,18 @@ class Telemetry:
         """Flush partial-epoch occupancy state at the end of a run."""
         self.timeline.finalize(cycle)
 
+    def reset(self) -> None:
+        """Drop everything observed so far (wired to ``Engine.on_reset``).
+
+        Component registrations survive — the same components re-emit
+        under the same ids after the reset — so a run after an engine
+        reset records exactly what a fresh device would.
+        """
+        self.tracer.clear()
+        self.timeline.reset()
+        self.fast_forwards.clear()
+        self._ff_dropped = 0
+
     # ------------------------------------------------------------------ #
     # Manifest.
     # ------------------------------------------------------------------ #

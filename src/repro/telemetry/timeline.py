@@ -58,6 +58,10 @@ class LinkSeries:
             return 0.0
         return max(self.flits.values()) / (self.width * self.epoch_cycles)
 
+    def reset(self) -> None:
+        """Drop all recorded epochs (component/engine reset)."""
+        self.flits.clear()
+
 
 class QueueMeter:
     """Peak flit occupancy of one queue, folded into per-epoch samples."""
@@ -84,6 +88,20 @@ class QueueMeter:
                 self.series[epoch] = self.peak
         # The standing occupancy seeds the next epoch's peak, so a queue
         # that stays full without new pushes is still reported full.
+        self.peak = self.queue.used_flits
+
+    def note_cleared(self) -> None:
+        """The queue was cleared: the standing peak baseline is gone.
+
+        Called by :meth:`~repro.noc.buffer.PacketQueue.clear`.  A clear
+        discards the queued packets, so carrying the pre-clear peak into
+        the next flush would report occupancy that no longer exists.
+        """
+        self.peak = self.queue.used_flits
+
+    def reset(self) -> None:
+        """Forget all recorded epochs and re-seed from live occupancy."""
+        self.series.clear()
         self.peak = self.queue.used_flits
 
     @property
@@ -121,6 +139,13 @@ class Timeline:
     def finalize(self, cycle: int) -> None:
         """Flush the partial epoch at the end of a run (idempotent)."""
         self.flush(cycle // self.epoch_cycles)
+
+    def reset(self) -> None:
+        """Clear every link series and queue meter (engine reset)."""
+        for series in self.links:
+            series.reset()
+        for meter in self.meters:
+            meter.reset()
 
 
 class TimelineProbe(Component):

@@ -1,0 +1,31 @@
+"""Simulation-integrity layer: invariants, lockstep oracle, fuzzing.
+
+Three lines of defence against silent model corruption, switchable for
+any run via ``GpuConfig.validate_enabled`` (invariants) or used directly
+(oracle, fuzzer):
+
+* :class:`InvariantChecker` / :class:`InvariantViolation` — per-cycle
+  conservation audits (packet delivered exactly once, queue flit
+  accounting, switch reserve/commit matching);
+* :class:`LockstepOracle` / :func:`verify_equivalence` — the naive
+  engine as ground truth for the active-set engine, with bisection to
+  the first divergent (cycle, component);
+* :func:`fuzz` / :func:`run_case` — randomized configs and workloads
+  driven through both of the above (``python -m repro fuzz``).
+"""
+
+from .invariants import InvariantChecker, InvariantViolation
+from .oracle import Divergence, LockstepOracle, verify_equivalence
+from .fuzz import FuzzCase, FuzzReport, fuzz, run_case
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "Divergence",
+    "LockstepOracle",
+    "verify_equivalence",
+    "FuzzCase",
+    "FuzzReport",
+    "fuzz",
+    "run_case",
+]

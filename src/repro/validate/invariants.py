@@ -1,0 +1,303 @@
+"""Conservation invariants for the cycle-level model.
+
+Every number the repo reports rests on flit-level accounting spread over
+dozens of components, and the covert channel lives in timing deltas small
+enough that a silent bug — a lost flit, a double-committed packet, a
+reservation that never drains — would corrupt results without failing the
+end-to-end tests.  The :class:`InvariantChecker` is a regular engine
+:class:`~repro.sim.engine.Component`, registered last so it observes
+settled end-of-cycle state, that audits:
+
+* **packet conservation** — every packet injected by an SM is delivered
+  back exactly once (read replies and write acknowledgements through
+  ``GpuDevice._deliver_reply``; posted writes at L2 acceptance), never
+  zero times and never twice;
+* **queue accounting** — every :class:`~repro.noc.buffer.PacketQueue`
+  keeps ``0 <= used + reserved <= capacity`` with ``used`` equal to the
+  flits actually queued;
+* **reserve/commit matching** — each switch's per-port ``_progress`` /
+  ``_reserved`` state is self-consistent, and every queue's reserved
+  flits are exactly the sum of its upstream switches' in-flight packets,
+  so a ``reserve`` that is never matched by a ``commit`` (or matched
+  twice) is caught at the first audit after it happens.
+
+Violations raise a structured :class:`InvariantViolation` naming the
+cycle, the component, and the failed invariant.  The checker never
+mutates model state, so validated runs are bit-identical to unvalidated
+ones; when ``GpuConfig.validate_enabled`` is off no checker exists and
+the hook sites cost one ``is not None`` branch (the telemetry pattern).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..noc.buffer import PacketQueue
+from ..noc.crossbar import Crossbar
+from ..noc.mux import Mux
+from ..noc.packet import Packet
+from ..sim.engine import Component
+
+
+class InvariantViolation(Exception):
+    """A conservation invariant failed.
+
+    Attributes
+    ----------
+    cycle:
+        Engine cycle at which the inconsistency was observed.
+    component:
+        Name of the queue/switch/checker stage that failed.
+    kind:
+        Machine-readable invariant tag (``"capacity"``,
+        ``"used-accounting"``, ``"reservation-leak"``,
+        ``"progress-consistency"``, ``"double-delivery"``,
+        ``"unknown-delivery"``, ``"duplicate-injection"``,
+        ``"undelivered"``).
+    detail:
+        Human-readable description of the observed state.
+    """
+
+    def __init__(self, cycle: int, component: str, kind: str, detail: str):
+        self.cycle = cycle
+        self.component = component
+        self.kind = kind
+        self.detail = detail
+        super().__init__(
+            f"[cycle {cycle}] {component}: {kind}: {detail}"
+        )
+
+
+class InvariantChecker(Component):
+    """Audits queue/switch/packet conservation every ``check_every`` cycles.
+
+    Build one with :meth:`attach`, which wires it into a
+    :class:`~repro.gpu.device.GpuDevice`; or construct directly and call
+    :meth:`watch_queue` / :meth:`watch_switch` for bare-component tests.
+    """
+
+    name = "validate.checker"
+
+    def __init__(self, check_every: int = 1) -> None:
+        if check_every <= 0:
+            raise ValueError("check_every must be positive")
+        self.check_every = check_every
+        self.queues: List[PacketQueue] = []
+        self.switches: List = []  # Mux and Crossbar instances
+        #: request uid -> (inject cycle, kind, flits) for in-flight packets.
+        self._in_flight: Dict[int, Tuple[int, str, int]] = {}
+        self.injected = 0
+        self.delivered = 0
+        self.checks_run = 0
+        self.violations = 0
+        self._next_check = 0
+
+    # ------------------------------------------------------------------ #
+    # Wiring.
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def attach(cls, device) -> "InvariantChecker":
+        """Wire a checker into every queue, switch, and SM of ``device``.
+
+        Registered on the engine *after* every model component (and after
+        the telemetry probe, if any), so each audit sees the settled
+        state of the cycle it runs in.
+        """
+        checker = cls(check_every=device.config.validate_interval)
+        for queue in device.inject_queues:
+            checker.watch_queue(queue)
+        for queue in device.tpc_queues:
+            checker.watch_queue(queue)
+        for queue in device.gpc_queues:
+            checker.watch_queue(queue)
+        for queue in device.l2_request_queues:
+            checker.watch_queue(queue)
+        for voqs in device.l2_reply_voqs:
+            for queue in voqs:
+                checker.watch_queue(queue)
+        for queue in device.gpc_reply_queues:
+            checker.watch_queue(queue)
+        for mux in device.tpc_muxes:
+            checker.watch_switch(mux)
+        for mux in device.gpc_muxes:
+            checker.watch_switch(mux)
+        checker.watch_switch(device.request_xbar)
+        for switch in device.reply_muxes:
+            checker.watch_switch(switch)
+        for sm in device.sms:
+            sm._validator = checker
+        device._validator = checker
+        device.engine.register(checker)
+        return checker
+
+    def watch_queue(self, queue: PacketQueue) -> None:
+        self.queues.append(queue)
+
+    def watch_switch(self, switch) -> None:
+        if not isinstance(switch, (Mux, Crossbar)):
+            raise TypeError(f"cannot audit {type(switch).__name__}")
+        self.switches.append(switch)
+
+    # ------------------------------------------------------------------ #
+    # Conservation hooks (called from SM inject / device deliver).
+    # ------------------------------------------------------------------ #
+    def note_inject(self, packet: Packet, cycle: int) -> None:
+        """An SM pushed ``packet`` into its injection queue."""
+        uid = packet.uid
+        if uid in self._in_flight:
+            self._raise(
+                cycle, f"sm{packet.src_sm}", "duplicate-injection",
+                f"packet uid={uid} addr={packet.address:#x} injected twice"
+            )
+        self._in_flight[uid] = (cycle, packet.kind, packet.flits)
+        self.injected += 1
+
+    def note_deliver(self, packet: Packet, cycle: int) -> None:
+        """A request completed back at its SM (reply or posted-write ack).
+
+        ``packet`` is either the reply (carrying ``req_uid``) or, for
+        posted writes acknowledged at L2 acceptance, the request itself.
+        """
+        uid = packet.req_uid if packet.is_reply else packet.uid
+        entry = self._in_flight.pop(uid, None)
+        if entry is None:
+            kind = (
+                "double-delivery" if uid >= 0 else "unknown-delivery"
+            )
+            self._raise(
+                cycle, f"sm{packet.src_sm}", kind,
+                f"delivery for request uid={uid} "
+                f"addr={packet.address:#x} that is not in flight "
+                f"(never injected, or already delivered once)"
+            )
+        self.delivered += 1
+
+    @property
+    def in_flight_count(self) -> int:
+        """Packets injected but not yet delivered."""
+        return len(self._in_flight)
+
+    def in_flight_report(self) -> List[Tuple[int, int, str, int]]:
+        """``(uid, inject_cycle, kind, flits)`` rows, oldest first."""
+        return sorted(
+            (uid, cycle, kind, flits)
+            for uid, (cycle, kind, flits) in self._in_flight.items()
+        )
+
+    def check_drained(self, cycle: int) -> None:
+        """Raise unless every injected packet has been delivered."""
+        if not self._in_flight:
+            return
+        oldest = self.in_flight_report()[:4]
+        self._raise(
+            cycle, self.name, "undelivered",
+            f"{len(self._in_flight)} packet(s) injected but never "
+            f"delivered; oldest: {oldest}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-cycle audit.
+    # ------------------------------------------------------------------ #
+    def tick(self, cycle: int) -> None:
+        if cycle < self._next_check:
+            return
+        self._next_check = cycle + self.check_every
+        self.checks_run += 1
+        self.audit(cycle)
+
+    def audit(self, cycle: int) -> None:
+        """Audit every watched switch and queue once, raising on failure."""
+        expected_reserved: Dict[int, int] = {}
+        for switch in self.switches:
+            self._audit_switch(cycle, switch)
+            for queue, flits in switch.reserved_demand():
+                key = id(queue)
+                expected_reserved[key] = expected_reserved.get(key, 0) + flits
+        for queue in self.queues:
+            self._audit_queue(cycle, queue, expected_reserved.get(id(queue), 0))
+
+    def _audit_switch(self, cycle: int, switch) -> None:
+        progress = switch._progress
+        reserved = switch._reserved
+        inputs = switch.inputs
+        for port in range(len(inputs)):
+            if reserved[port] != (progress[port] > 0):
+                self._raise(
+                    cycle, switch.name, "progress-consistency",
+                    f"port {port}: reserved={reserved[port]} but "
+                    f"progress={progress[port]} (a reservation must be "
+                    f"held exactly while a packet is mid-transmission)"
+                )
+            if progress[port] > 0:
+                head = inputs[port].head()
+                if head is None:
+                    self._raise(
+                        cycle, switch.name, "progress-consistency",
+                        f"port {port}: {progress[port]} flit(s) of "
+                        f"progress but the input queue is empty (head "
+                        f"popped without commit?)"
+                    )
+                elif progress[port] >= head.flits:
+                    self._raise(
+                        cycle, switch.name, "progress-consistency",
+                        f"port {port}: progress {progress[port]} >= "
+                        f"packet length {head.flits} (missed completion)"
+                    )
+
+    def _audit_queue(
+        self, cycle: int, queue: PacketQueue, expected_reserved: int
+    ) -> None:
+        used = queue._used_flits
+        reserved = queue._reserved_flits
+        if used < 0 or reserved < 0:
+            self._raise(
+                cycle, queue.name, "capacity",
+                f"negative accounting: used={used} reserved={reserved}"
+            )
+        if used + reserved > queue.capacity_flits:
+            self._raise(
+                cycle, queue.name, "capacity",
+                f"used({used}) + reserved({reserved}) exceeds "
+                f"capacity({queue.capacity_flits})"
+            )
+        actual = sum(packet.flits for packet in queue._queue)
+        if used != actual:
+            self._raise(
+                cycle, queue.name, "used-accounting",
+                f"used_flits={used} but queued packets hold {actual} "
+                f"flits"
+            )
+        if reserved != expected_reserved:
+            self._raise(
+                cycle, queue.name, "reservation-leak",
+                f"reserved_flits={reserved} but upstream switches hold "
+                f"in-flight packets for {expected_reserved} flits (every "
+                f"reserve must be matched by exactly one commit)"
+            )
+
+    def _raise(
+        self, cycle: int, component: str, kind: str, detail: str
+    ) -> None:
+        self.violations += 1
+        raise InvariantViolation(cycle, component, kind, detail)
+
+    # ------------------------------------------------------------------ #
+    # Engine contract.
+    # ------------------------------------------------------------------ #
+    def idle_until(self, cycle: int) -> Optional[int]:
+        """Park until the next audit cycle (``check_every`` hops).
+
+        With ``check_every == 1`` the checker stays in the active set —
+        validated runs trade quiescence fast-forward for per-cycle
+        coverage; larger intervals let idle stretches fast-forward in
+        audit-sized hops, exactly like the telemetry probe.
+        """
+        return None if self._next_check <= cycle + 1 else self._next_check
+
+    def reset(self) -> None:
+        self._in_flight.clear()
+        self.injected = 0
+        self.delivered = 0
+        self.checks_run = 0
+        self.violations = 0
+        self._next_check = 0

@@ -1,0 +1,162 @@
+"""Lockstep oracle: the naive engine as ground truth for the active one.
+
+PR 2 replaced tick-everything scheduling with an active-set engine whose
+park/wake bookkeeping is the single most bug-prone piece of the simulator:
+a component that parks one cycle too long produces timing that is subtly —
+not obviously — wrong, and the covert channel *is* timing.  The oracle
+makes the equivalence claim checkable for any config and workload: it
+builds the same device twice, once per engine strategy, steps both in
+lockstep, and compares per-component :meth:`state_digest` snapshots every
+``compare_every`` cycles.
+
+On a mismatch it does not just say "diverged somewhere before cycle N": it
+rebuilds a fresh device pair (seeded runs are deterministic, so a rebuild
+replays identically), fast-forwards to the last matching checkpoint, and
+re-steps one cycle at a time to pin the **first** divergent cycle and the
+first divergent component in registration (pipeline) order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..config import GpuConfig
+from ..gpu.device import GpuDevice
+
+#: A stimulus launches work on a freshly built device (kernels, preloads).
+#: It must be deterministic: called once per device, both calls must
+#: produce the same launches for the lockstep comparison to be meaningful.
+Stimulus = Callable[[GpuDevice], None]
+
+
+@dataclass
+class Divergence:
+    """First point where the two engine strategies disagree."""
+
+    cycle: int
+    component: str
+    naive_digest: object
+    active_digest: object
+
+    def __str__(self) -> str:
+        return (
+            f"engines diverged at cycle {self.cycle} in "
+            f"{self.component}: naive={self.naive_digest!r} "
+            f"active={self.active_digest!r}"
+        )
+
+
+class LockstepOracle:
+    """Runs one config under both engine strategies and compares state.
+
+    Parameters
+    ----------
+    config:
+        Base config; ``engine_strategy`` is overridden per device.
+    stimulus:
+        Deterministic workload installer (may be None for an idle device).
+    compare_every:
+        Coarse checkpoint interval.  Larger values are cheaper (digests
+        are the expensive part) without losing precision — the bisection
+        pass recovers the exact cycle.
+    """
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        stimulus: Optional[Stimulus] = None,
+        compare_every: int = 64,
+        l1_enabled: bool = False,
+    ) -> None:
+        if compare_every <= 0:
+            raise ValueError("compare_every must be positive")
+        self.config = config
+        self.stimulus = stimulus
+        self.compare_every = compare_every
+        self.l1_enabled = l1_enabled
+
+    # ------------------------------------------------------------------ #
+    def _build(self, strategy: str) -> GpuDevice:
+        config = dataclasses.replace(self.config, engine_strategy=strategy)
+        device = GpuDevice(config, l1_enabled=self.l1_enabled)
+        if self.stimulus is not None:
+            self.stimulus(device)
+        return device
+
+    @staticmethod
+    def _compare(
+        naive: GpuDevice, active: GpuDevice
+    ) -> Optional[Tuple[str, object, object]]:
+        """First (name, naive_digest, active_digest) mismatch, or None."""
+        for a, b in zip(naive.engine.components, active.engine.components):
+            da = a.state_digest()
+            db = b.state_digest()
+            if da != db:
+                return (a.name, da, db)
+        return None
+
+    # ------------------------------------------------------------------ #
+    def run(self, max_cycles: int = 200_000) -> Optional[Divergence]:
+        """Compare the strategies for up to ``max_cycles`` cycles.
+
+        Returns None when every checkpoint (and the final state) matched,
+        or a :class:`Divergence` pinpointing the first bad cycle.  Stops
+        early once both devices report all streams drained — after one
+        final checkpoint on the drained state.
+        """
+        naive = self._build("naive")
+        active = self._build("active")
+        cycle = 0
+        last_good = 0
+        while cycle < max_cycles:
+            step = min(self.compare_every, max_cycles - cycle)
+            naive.engine.step(step)
+            active.engine.step(step)
+            cycle += step
+            mismatch = self._compare(naive, active)
+            if mismatch is not None:
+                return self._bisect(last_good, cycle)
+            last_good = cycle
+            if naive.scheduler.all_idle and active.scheduler.all_idle:
+                break
+        return None
+
+    def _bisect(self, good_cycle: int, bad_cycle: int) -> Divergence:
+        """Replay a fresh pair and pin the first divergent cycle.
+
+        Valid because every source of randomness is seeded from the
+        config: the rebuilt devices retrace the original run exactly.
+        """
+        naive = self._build("naive")
+        active = self._build("active")
+        if good_cycle:
+            naive.engine.step(good_cycle)
+            active.engine.step(good_cycle)
+        cycle = good_cycle
+        while cycle < bad_cycle:
+            naive.engine.step(1)
+            active.engine.step(1)
+            cycle += 1
+            mismatch = self._compare(naive, active)
+            if mismatch is not None:
+                name, da, db = mismatch
+                return Divergence(cycle, name, da, db)
+        # The coarse pass diverged but the replay did not: the model has
+        # hidden nondeterminism, which is itself a bug worth naming.
+        return Divergence(
+            bad_cycle, "<nondeterministic>",
+            "replay matched", "original run diverged",
+        )
+
+
+def verify_equivalence(
+    config: GpuConfig,
+    stimulus: Optional[Stimulus] = None,
+    max_cycles: int = 200_000,
+    compare_every: int = 64,
+) -> Optional[Divergence]:
+    """One-shot helper: run the oracle, return its verdict."""
+    oracle = LockstepOracle(config, stimulus, compare_every=compare_every)
+    return oracle.run(max_cycles=max_cycles)

@@ -119,3 +119,82 @@ class TestResultCache:
         parsed = json.loads(text)
         assert parsed["t"] == [1, 2]
         assert parsed["config"]["seed"] == config.seed
+
+
+class TestCacheEntryRobustness:
+    """Regressions for entry handling: any unreadable entry is a miss."""
+
+    def _key(self, cache):
+        return cache.key(DOUBLE, small_config(), {}, seed=1)
+
+    def _write_entry(self, cache, key, text):
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+
+    def test_entry_without_result_key_counts_as_miss(self, tmp_path):
+        # Regression: this used to escape as a KeyError and kill a sweep.
+        cache = ResultCache(tmp_path)
+        key = self._key(cache)
+        self._write_entry(cache, key, json.dumps({"meta": {"note": "x"}}))
+        assert cache.get(key) is None
+        assert cache.misses == 1
+        assert cache.hits == 0
+
+    def test_non_object_entry_counts_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self._key(cache)
+        self._write_entry(cache, key, "42")  # valid JSON, wrong shape
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_malformed_entry_is_overwritable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self._key(cache)
+        self._write_entry(cache, key, json.dumps({"wrong": True}))
+        assert cache.get(key) is None
+        cache.put(key, {"x": 1})
+        assert cache.get(key) == {"x": 1}
+
+
+class TestCodeVersionRefresh:
+    """Regressions for the memoised code_version going stale in-process."""
+
+    def test_refresh_replaces_a_stale_memo(self, monkeypatch):
+        import repro.runner.cache as cache_mod
+
+        real = code_version()
+        monkeypatch.setattr(cache_mod, "_code_version", "stale-memo")
+        assert code_version() == "stale-memo"  # the memo is served as-is
+        assert code_version(refresh=True) == real
+
+    def test_cache_construction_refreshes_the_memo(self, tmp_path,
+                                                   monkeypatch):
+        import repro.runner.cache as cache_mod
+
+        real = code_version()
+        monkeypatch.setattr(cache_mod, "_code_version", "stale-memo")
+        cache = ResultCache(tmp_path)
+        assert cache.code_version == real
+        assert code_version() == real  # the module memo was replaced too
+
+    def test_keys_use_the_cache_pinned_version(self, tmp_path, monkeypatch):
+        import repro.runner.cache as cache_mod
+
+        cache = ResultCache(tmp_path)
+        key_before = cache.key(DOUBLE, small_config(), {}, seed=1)
+        # A later stale memo must not change this cache's keys.
+        monkeypatch.setattr(cache_mod, "_code_version", "stale-memo")
+        assert cache.key(DOUBLE, small_config(), {}, seed=1) == key_before
+
+    def test_put_records_code_version_in_meta(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key(DOUBLE, small_config(), {}, seed=1)
+        cache.put(key, {"x": 1}, meta={"note": "hello"})
+        meta = cache.meta(key)
+        assert meta["code_version"] == cache.code_version
+        assert meta["note"] == "hello"
+
+    def test_meta_absent_for_missing_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.meta("0" * 64) is None

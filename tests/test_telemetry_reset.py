@@ -1,0 +1,117 @@
+"""Telemetry must reset with the model (the stale-telemetry bugfix).
+
+``PacketQueue.clear()`` historically never informed its meter, and
+``Engine.reset()`` left meter peaks, link series, and tracer contents
+from the previous run — so any telemetry read after a reset mixed two
+runs' worth of observations.  These tests pin the fixed behaviour: a run
+after ``Engine.reset()`` records exactly what the same run on a freshly
+built device records.
+"""
+
+from repro.config import small_config
+from repro.gpu.device import GpuDevice
+from repro.gpu.workloads import make_streaming_kernel
+from repro.noc.buffer import PacketQueue
+from repro.telemetry.timeline import QueueMeter
+
+
+def _run_workload(device):
+    config = device.config
+    device.preload_region(0, 1 << 18)
+    device.launch(make_streaming_kernel(
+        config, "read", ops=6, num_blocks=config.num_sms,
+    ))
+    device.run()
+
+
+def _telemetry_snapshot(device):
+    """Identity-free view of everything the hub observed.
+
+    Tracer payload fields can carry packet uids (drawn from a process
+    global counter, different in every run), so events are projected to
+    their (cycle, kind, component) prefix.
+    """
+    hub = device.telemetry
+    manifest = device.telemetry_manifest()
+    return {
+        "cycle": device.cycle,
+        "events": [event[:3] for event in hub.tracer],
+        "links": {s.name: dict(s.flits) for s in hub.timeline.links},
+        "meters": {m.name: (m.peak, dict(m.series))
+                   for m in hub.timeline.meters},
+        "fast_forwards": list(hub.fast_forwards),
+        "manifest": manifest,
+        "counters": dict(device.stats.counters),
+    }
+
+
+class TestResetMatchesFreshDevice:
+    def test_post_reset_run_records_identical_telemetry(self):
+        config = small_config(telemetry_enabled=True, timing_noise=16)
+        reused = GpuDevice(config)
+        _run_workload(reused)
+        first = _telemetry_snapshot(reused)
+        assert first["events"], "workload produced no telemetry"
+
+        reused.engine.reset()
+        _run_workload(reused)
+        after_reset = _telemetry_snapshot(reused)
+
+        fresh = GpuDevice(config)
+        _run_workload(fresh)
+        from_fresh = _telemetry_snapshot(fresh)
+
+        assert after_reset == from_fresh
+        # And the reset run matches the device's own first run too.
+        assert after_reset == first
+
+    def test_reset_clears_all_observability_state(self):
+        config = small_config(telemetry_enabled=True)
+        device = GpuDevice(config)
+        _run_workload(device)
+        hub = device.telemetry
+        assert len(hub.tracer) > 0
+        assert any(series.flits for series in hub.timeline.links)
+        assert device.stats.counters
+
+        device.engine.reset()
+        assert len(hub.tracer) == 0
+        assert hub.tracer.dropped == 0
+        assert all(not series.flits for series in hub.timeline.links)
+        assert all(
+            not meter.series and meter.peak == 0
+            for meter in hub.timeline.meters
+        )
+        assert hub.fast_forwards == []
+        assert not device.stats.counters
+
+    def test_component_registrations_survive_reset(self):
+        config = small_config(telemetry_enabled=True)
+        device = GpuDevice(config)
+        names_before = dict(enumerate(device.telemetry.component_names))
+        device.engine.reset()
+        assert dict(enumerate(device.telemetry.component_names)) == \
+            names_before
+
+
+class TestQueueClearInformsMeter:
+    def test_clear_drops_the_standing_peak(self):
+        queue = PacketQueue("q", 64)
+        meter = QueueMeter("q", queue)
+        queue.meter = meter
+        from repro.noc.packet import Packet, WRITE
+
+        queue.push(Packet(kind=WRITE, address=0, flits=8, src_sm=0,
+                          slice_id=0, birth_cycle=0))
+        meter.note(queue.used_flits)
+        assert meter.peak == 8
+        queue.clear()
+        # Regression: the meter used to keep reporting the pre-clear
+        # occupancy as the next epoch's baseline.
+        assert meter.peak == 0
+        meter.flush(epoch=0)
+        assert meter.series == {}
+
+    def test_clear_without_meter_is_fine(self):
+        queue = PacketQueue("q", 64)
+        queue.clear()  # must not raise with no meter attached
