@@ -1,0 +1,8 @@
+"""Repo-root pytest configuration.
+
+Loads the paper-artifact plugin (``tests/plugin.py``) so any test can
+use ``@paper_artifact(...)`` markers and the ``artifact_run`` fixture;
+``pytest_plugins`` is only legal in the rootdir conftest.
+"""
+
+pytest_plugins = ["tests.plugin"]

@@ -13,6 +13,7 @@ Gives downstream users a zero-code way to run the paper's experiments::
     python -m repro bench                   # engine strategy benchmark
     python -m repro trace --figure fig5     # Perfetto trace of a run
     python -m repro fuzz --quick            # randomized integrity fuzzing
+    python -m repro golden check            # golden-metric regression gate
 
 ``--scale {small,medium,volta}`` selects the simulated GPU (default
 small: fastest; volta is the full Table-1 V100 and can take minutes).
@@ -345,6 +346,133 @@ def cmd_fuzz(args) -> int:
     return 1 if failed else 0
 
 
+def _parse_kv(pairs, label: str) -> dict:
+    """Parse repeated ``key=value`` options (``--param``/``--override``).
+
+    Values go through ``ast.literal_eval`` so ints, floats, tuples and
+    quoted strings round-trip; anything unparsable stays a bare string
+    (e.g. ``arbitration=srr``).
+    """
+    import ast
+
+    parsed = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"bad {label} {pair!r}; expected key=value")
+        try:
+            parsed[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            parsed[key] = raw
+    return parsed
+
+
+def cmd_golden(args) -> int:
+    from .runner import ResultCache
+    from .testing import (
+        GoldenStore,
+        artifacts_for_scale,
+        check_artifact,
+        get_artifact,
+        record_artifact,
+        reduce_failure,
+    )
+    from .testing.harness import SCALE_FACTORIES
+
+    scale = args.scale
+    if scale not in SCALE_FACTORIES:
+        print(
+            f"golden supports scales {sorted(SCALE_FACTORIES)}, "
+            f"not {scale!r}", file=sys.stderr,
+        )
+        return 2
+    store = GoldenStore(args.golden_dir)
+    cache = None if args.no_cache else ResultCache()
+
+    if args.action == "list":
+        from .analysis import format_table
+
+        rows = []
+        for artifact in artifacts_for_scale(scale):
+            rows.append((
+                artifact.id,
+                ", ".join(exp.id for exp in artifact.expectations),
+                "yes" if store.exists(artifact.id, scale) else "no",
+            ))
+        print(format_table(["artifact", "expectations", "golden"], rows))
+        return 0
+
+    chosen = args.artifacts or [
+        artifact.id for artifact in artifacts_for_scale(scale)
+    ]
+    for artifact_id in chosen:
+        get_artifact(artifact_id)  # fail fast on typos
+
+    if args.action in ("record", "update"):
+        wrote = 0
+        for artifact_id in chosen:
+            if args.action == "record" and store.exists(artifact_id, scale):
+                print(f"keep  {store.path(artifact_id, scale)}")
+                continue
+            path = record_artifact(
+                artifact_id, scale, cache=cache,
+                workers=args.workers, store=store,
+            )
+            wrote += 1
+            print(f"wrote {path}")
+        print(f"{wrote} golden(s) recorded at scale {scale}")
+        return 0
+
+    # action == "check".  A custom sweep (explicit seeds, params, or a
+    # deliberate perturbation) is judged on expectations only: goldens
+    # were recorded on the unmodified config, so a drift comparison
+    # would always report a meaningless config mismatch.
+    params = _parse_kv(args.param, "--param") or None
+    overrides = _parse_kv(args.override, "--override") or None
+    against_golden = (
+        params is None and overrides is None and args.seeds is None
+    )
+    runs = [
+        check_artifact(
+            artifact_id, scale, seeds=args.seeds, params=params,
+            overrides=overrides, cache=cache, workers=args.workers,
+            store=store, golden=against_golden,
+        )
+        for artifact_id in chosen
+    ]
+    failed = [run for run in runs if not run.passed]
+    for run in runs:
+        print(run.report())
+    if args.report:
+        import json as _json
+
+        payload = {
+            "scale": scale,
+            "passed": not failed,
+            "artifacts": [run.to_dict() for run in runs],
+        }
+        with open(args.report, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.report}")
+    print(
+        f"{len(runs)} artifact(s) checked at scale {scale}: "
+        f"{len(runs) - len(failed)} passed, {len(failed)} failed"
+    )
+    if failed and args.reduce:
+        first = failed[0]
+        misses = first.failed_expectations()
+        if misses:
+            reduction = reduce_failure(
+                first.artifact.id, misses[0].expectation_id, scale,
+                seeds=args.seeds, params=params, overrides=overrides,
+                cache=cache,
+            )
+            print(reduction.report())
+    if any(run.golden_error for run in runs):
+        return 2
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -440,6 +568,56 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--quick", action="store_true",
                       help="CI mode: a small time-boxed case budget")
 
+    golden = sub.add_parser(
+        "golden",
+        help="golden-metric regression harness (statistical acceptance "
+             "tests for every paper artifact)",
+    )
+    golden.add_argument(
+        "action", choices=("record", "check", "update", "list"),
+        help="record missing goldens / check against them / re-record "
+             "all / list artifacts",
+    )
+    golden.add_argument(
+        "--artifact", action="append", dest="artifacts", metavar="ID",
+        help="limit to one artifact (repeatable; default: all at scale)",
+    )
+    golden.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="override the artifact's seed sweep (check only)",
+    )
+    golden.add_argument(
+        "--param", action="append", metavar="K=V",
+        help="override a workload parameter, e.g. ops=4 (check only)",
+    )
+    golden.add_argument(
+        "--override", action="append", metavar="K=V",
+        help="override a GpuConfig field, e.g. arbitration=srr "
+             "(check only; used to perturb and to replay reductions)",
+    )
+    golden.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel worker processes per seed sweep (default: 1)",
+    )
+    golden.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache (.repro_cache)",
+    )
+    golden.add_argument(
+        "--reduce", action="store_true",
+        help="on failure, bisect the first miss to the smallest config "
+             "that still reproduces it",
+    )
+    golden.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the expectation/drift report as JSON",
+    )
+    golden.add_argument(
+        "--golden-dir", default=None,
+        help="golden snapshot directory (default: tests/golden, or "
+             "$REPRO_GOLDEN_DIR)",
+    )
+
     return parser
 
 
@@ -455,6 +633,7 @@ COMMANDS = {
     "bench": cmd_bench,
     "trace": cmd_trace,
     "fuzz": cmd_fuzz,
+    "golden": cmd_golden,
 }
 
 

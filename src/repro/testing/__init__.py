@@ -1,0 +1,92 @@
+"""Golden-metric regression harness: statistical acceptance testing.
+
+Turns EXPERIMENTS.md into executable acceptance tests:
+
+* :mod:`repro.testing.expectations` — a declarative DSL
+  (``ratio_near``, ``slope_between``, ``ordering``, ``flat``,
+  ``monotonic``, …) for the paper's shape claims, each evaluated over a
+  seed sweep with t-confidence bands;
+* :mod:`repro.testing.artifacts` — the registry binding every paper
+  artifact to a metric workload, scales, seeds, and expectations;
+* :mod:`repro.testing.golden` — committed per-artifact metric
+  snapshots under ``tests/golden/`` with statistical drift checking;
+* :mod:`repro.testing.harness` — seed-sweep execution through
+  :mod:`repro.runner` (parallel fan-out + result cache);
+* :mod:`repro.testing.reducer` — shrinks a regressed metric to the
+  smallest (SM count, cycle budget) setup that still reproduces it.
+
+CLI: ``python -m repro [--scale small] golden {record,check,update,list}``.
+Pytest: mark tests ``@paper_artifact("fig10a", scale="small")`` (see
+``tests/plugin.py``) and assert on the injected ``artifact_run``.
+"""
+
+from .artifacts import (
+    ARTIFACTS,
+    Artifact,
+    artifacts_for_scale,
+    all_expectation_ids,
+    get_artifact,
+)
+from .expectations import (
+    Expectation,
+    ExpectationResult,
+    above,
+    below,
+    between,
+    flat,
+    monotonic,
+    ordering,
+    ratio_near,
+    slope_between,
+)
+from .golden import (
+    DriftResult,
+    GoldenStore,
+    MissingGoldenError,
+    StaleGoldenError,
+    config_hash,
+)
+from .harness import (
+    ArtifactRun,
+    check_artifact,
+    check_scale,
+    record_artifact,
+    run_artifact,
+    scale_config,
+)
+from .reducer import Reduction, reduce_failure
+from .stats import ConfidenceInterval, mean_interval, t_critical
+
+__all__ = [
+    "ARTIFACTS",
+    "Artifact",
+    "ArtifactRun",
+    "ConfidenceInterval",
+    "DriftResult",
+    "Expectation",
+    "ExpectationResult",
+    "GoldenStore",
+    "MissingGoldenError",
+    "Reduction",
+    "StaleGoldenError",
+    "above",
+    "all_expectation_ids",
+    "artifacts_for_scale",
+    "below",
+    "between",
+    "check_artifact",
+    "check_scale",
+    "config_hash",
+    "flat",
+    "get_artifact",
+    "mean_interval",
+    "monotonic",
+    "ordering",
+    "ratio_near",
+    "record_artifact",
+    "reduce_failure",
+    "run_artifact",
+    "scale_config",
+    "slope_between",
+    "t_critical",
+]

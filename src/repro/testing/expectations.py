@@ -1,0 +1,348 @@
+"""Declarative shape expectations for paper artifacts.
+
+EXPERIMENTS.md makes *shape* claims — "the TPC sibling doubles SM0's
+time", "RR leaks linearly, SRR is flat", "bandwidth falls as iterations
+rise".  An :class:`Expectation` turns one such claim into an executable
+check over a seed sweep:
+
+* band kinds (``ratio_near``, ``slope_between``, ``flat``, ``between``,
+  ``below``, ``above``) compare the t-confidence interval of a scalar
+  metric's mean against an acceptance band.  The check fails only when
+  the whole interval lies outside the band, so the tolerance is a
+  statistical statement, not a magic epsilon;
+* ``ordering`` asserts that the means of several metrics are strictly
+  decreasing, and fails only when even the optimistic gap (means plus
+  both half-widths) misses the required margin;
+* ``monotonic`` asserts that the pointwise mean of a *series* metric is
+  non-decreasing (or non-increasing) within a slack.
+
+Expectations are pure data (frozen dataclasses) so the golden store can
+serialise them into reports and the reducer can re-evaluate them on
+shrunken configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from .stats import (
+    bands_overlap,
+    mean_interval,
+    pointwise_intervals,
+    pointwise_means,
+)
+
+#: Expectation kinds understood by :meth:`Expectation.evaluate`.
+KINDS = ("band", "ordering", "monotonic")
+
+
+@dataclass(frozen=True)
+class ExpectationResult:
+    """Outcome of evaluating one expectation over a seed sweep."""
+
+    expectation_id: str
+    kind: str
+    metric: str
+    ok: bool
+    observed: str
+    expected: str
+    detail: str = ""
+
+    def line(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        text = (
+            f"{status} {self.expectation_id}: "
+            f"{self.metric} {self.observed}, expected {self.expected}"
+        )
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "expectation": self.expectation_id,
+            "kind": self.kind,
+            "metric": self.metric,
+            "ok": self.ok,
+            "observed": self.observed,
+            "expected": self.expected,
+            "detail": self.detail,
+        }
+
+
+def _fmt_bound(value: float) -> str:
+    if math.isinf(value):
+        return "-inf" if value < 0 else "+inf"
+    return f"{value:.4g}"
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One executable shape claim over an artifact's metric samples."""
+
+    id: str
+    kind: str
+    #: Metric name(s): one entry for band/monotonic, >= 2 for ordering.
+    metrics: Tuple[str, ...]
+    #: Acceptance band for band kinds ([lo, hi]; inf endpoints allowed).
+    band: Tuple[float, float] = (-math.inf, math.inf)
+    confidence: float = 0.95
+    #: Minimum mean gap between consecutive metrics for ``ordering``.
+    min_gap: float = 0.0
+    #: "increasing" or "decreasing" for ``monotonic``.
+    direction: str = "increasing"
+    #: Allowed counter-direction step for ``monotonic``.
+    slack: float = 0.0
+    #: Human sentence of the paper claim (shown in reports and docs).
+    claim: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown expectation kind {self.kind!r}")
+        if not self.metrics:
+            raise ValueError("expectation needs at least one metric")
+        if self.kind == "ordering" and len(self.metrics) < 2:
+            raise ValueError("ordering needs >= 2 metrics")
+        if self.kind != "ordering" and len(self.metrics) != 1:
+            raise ValueError(f"{self.kind} takes exactly one metric")
+        if self.direction not in ("increasing", "decreasing"):
+            raise ValueError(f"bad monotonic direction {self.direction!r}")
+
+    # ------------------------------------------------------------------ #
+    # Evaluation.
+    # ------------------------------------------------------------------ #
+    def evaluate(
+        self, samples: Mapping[str, Sequence[Any]]
+    ) -> ExpectationResult:
+        """Check this expectation against ``{metric: per-seed samples}``."""
+        missing = [m for m in self.metrics if m not in samples]
+        if missing:
+            return self._result(
+                ok=False,
+                observed="metric missing from samples",
+                expected=self.describe(),
+                detail=f"missing {missing}",
+            )
+        if self.kind == "band":
+            return self._evaluate_band(samples)
+        if self.kind == "ordering":
+            return self._evaluate_ordering(samples)
+        return self._evaluate_monotonic(samples)
+
+    def _evaluate_band(self, samples) -> ExpectationResult:
+        interval = mean_interval(
+            [float(v) for v in samples[self.metrics[0]]], self.confidence
+        )
+        lo, hi = self.band
+        ok = bands_overlap(interval.low, interval.high, lo, hi)
+        return self._result(
+            ok=ok,
+            observed=str(interval),
+            expected=self.describe(),
+        )
+
+    def _evaluate_ordering(self, samples) -> ExpectationResult:
+        intervals = [
+            mean_interval(
+                [float(v) for v in samples[m]], self.confidence
+            )
+            for m in self.metrics
+        ]
+        failures: List[str] = []
+        for (name_a, a), (name_b, b) in zip(
+            zip(self.metrics, intervals), zip(self.metrics[1:], intervals[1:])
+        ):
+            optimistic_gap = (a.mean - b.mean) + a.half_width + b.half_width
+            if optimistic_gap < self.min_gap:
+                failures.append(
+                    f"{name_a} ({a}) !> {name_b} ({b}) by {self.min_gap:g}"
+                )
+        observed = " > ".join(
+            f"{m}={i.mean:.4g}" for m, i in zip(self.metrics, intervals)
+        )
+        return self._result(
+            ok=not failures,
+            observed=observed,
+            expected=self.describe(),
+            detail="; ".join(failures),
+        )
+
+    def _evaluate_monotonic(self, samples) -> ExpectationResult:
+        series = [
+            [float(v) for v in one_seed]
+            for one_seed in samples[self.metrics[0]]
+        ]
+        means = pointwise_means(series)
+        sign = 1.0 if self.direction == "increasing" else -1.0
+        failures = [
+            f"step {i}: {means[i]:.4g} -> {means[i + 1]:.4g}"
+            for i in range(len(means) - 1)
+            if sign * (means[i + 1] - means[i]) < -self.slack
+        ]
+        observed = " -> ".join(f"{m:.4g}" for m in means)
+        return self._result(
+            ok=not failures,
+            observed=observed,
+            expected=self.describe(),
+            detail="; ".join(failures),
+        )
+
+    def _result(self, ok, observed, expected, detail="") -> ExpectationResult:
+        return ExpectationResult(
+            expectation_id=self.id,
+            kind=self.kind,
+            metric=",".join(self.metrics),
+            ok=ok,
+            observed=observed,
+            expected=expected,
+            detail=detail,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Description / serialisation.
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        if self.kind == "band":
+            lo, hi = self.band
+            return f"within [{_fmt_bound(lo)}, {_fmt_bound(hi)}]"
+        if self.kind == "ordering":
+            gap = f" by > {self.min_gap:g}" if self.min_gap else ""
+            return " > ".join(self.metrics) + gap
+        return f"{self.direction} (slack {self.slack:g})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        lo, hi = self.band
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "metrics": list(self.metrics),
+            "band": [
+                None if math.isinf(lo) else lo,
+                None if math.isinf(hi) else hi,
+            ],
+            "confidence": self.confidence,
+            "min_gap": self.min_gap,
+            "direction": self.direction,
+            "slack": self.slack,
+            "claim": self.claim,
+        }
+
+
+# ---------------------------------------------------------------------- #
+# DSL constructors — the vocabulary ISSUE/EXPERIMENTS claims are written
+# in.  Each returns a plain Expectation.
+# ---------------------------------------------------------------------- #
+def ratio_near(
+    id: str,
+    metric: str,
+    target: float,
+    rel_tol: float = 0.1,
+    confidence: float = 0.95,
+    claim: str = "",
+) -> Expectation:
+    """Mean of ``metric`` within ``target * (1 ± rel_tol)``."""
+    lo = target * (1.0 - rel_tol)
+    hi = target * (1.0 + rel_tol)
+    return Expectation(
+        id=id, kind="band", metrics=(metric,),
+        band=(min(lo, hi), max(lo, hi)),
+        confidence=confidence, claim=claim,
+    )
+
+
+def slope_between(
+    id: str,
+    metric: str,
+    lo: float,
+    hi: float,
+    confidence: float = 0.95,
+    claim: str = "",
+) -> Expectation:
+    """A per-seed slope metric whose mean lies within ``[lo, hi]``."""
+    return Expectation(
+        id=id, kind="band", metrics=(metric,), band=(lo, hi),
+        confidence=confidence, claim=claim,
+    )
+
+
+def flat(
+    id: str,
+    metric: str,
+    tol: float,
+    center: float = 0.0,
+    confidence: float = 0.95,
+    claim: str = "",
+) -> Expectation:
+    """Mean of ``metric`` within ``center ± tol`` (a "no leakage" claim)."""
+    return Expectation(
+        id=id, kind="band", metrics=(metric,),
+        band=(center - tol, center + tol),
+        confidence=confidence, claim=claim,
+    )
+
+
+def between(
+    id: str,
+    metric: str,
+    lo: float,
+    hi: float,
+    confidence: float = 0.95,
+    claim: str = "",
+) -> Expectation:
+    """Mean of ``metric`` within the absolute band ``[lo, hi]``."""
+    return Expectation(
+        id=id, kind="band", metrics=(metric,), band=(lo, hi),
+        confidence=confidence, claim=claim,
+    )
+
+
+def below(
+    id: str,
+    metric: str,
+    limit: float,
+    confidence: float = 0.95,
+    claim: str = "",
+) -> Expectation:
+    """Mean of ``metric`` at most ``limit``."""
+    return between(id, metric, -math.inf, limit, confidence, claim)
+
+
+def above(
+    id: str,
+    metric: str,
+    limit: float,
+    confidence: float = 0.95,
+    claim: str = "",
+) -> Expectation:
+    """Mean of ``metric`` at least ``limit``."""
+    return between(id, metric, limit, math.inf, confidence, claim)
+
+
+def ordering(
+    id: str,
+    metrics: Sequence[str],
+    min_gap: float = 0.0,
+    confidence: float = 0.95,
+    claim: str = "",
+) -> Expectation:
+    """Means of ``metrics`` strictly decreasing left to right."""
+    return Expectation(
+        id=id, kind="ordering", metrics=tuple(metrics), min_gap=min_gap,
+        confidence=confidence, claim=claim,
+    )
+
+
+def monotonic(
+    id: str,
+    metric: str,
+    direction: str = "increasing",
+    slack: float = 0.0,
+    claim: str = "",
+) -> Expectation:
+    """Pointwise-mean series ``metric`` monotonic in ``direction``."""
+    return Expectation(
+        id=id, kind="monotonic", metrics=(metric,),
+        direction=direction, slack=slack, claim=claim,
+    )

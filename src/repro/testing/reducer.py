@@ -1,0 +1,235 @@
+"""Failure reduction: shrink a regressed metric to its smallest repro.
+
+When ``golden check`` flags an expectation, the interesting question is
+*where does it still fail*: a miss that reproduces on a one-GPC, two-SM
+machine with 4 ops is a mux/arbiter bug; one that only shows at medium
+scale with full parameters is a capacity or reply-path interaction.
+
+:func:`reduce_failure` performs a greedy delta-debugging pass over three
+shrink axes, keeping each shrink only if the target expectation *still
+fails* on the shrunken setup:
+
+1. the seed sweep (fewer seeds → fewer runs),
+2. the workload's numeric parameters (ops, bits, repeats — the cycle
+   budget — halved toward 1; sequence parameters truncated toward their
+   endpoints),
+3. the GPU topology, via the artifact's declared ``shrink_configs``
+   ladder (e.g. a one-GPC machine for TPC-level artifacts).
+
+The result names the minimal failing configuration and prints the exact
+``python -m repro golden check`` invocation that replays it.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..runner import ResultCache
+from .artifacts import Artifact, get_artifact
+from .harness import artifact_config, run_artifact
+
+#: Hard cap on reduction attempts; each attempt is one seed sweep.
+MAX_ATTEMPTS = 32
+
+
+@dataclass
+class ReductionStep:
+    """One attempted shrink and whether the failure survived it."""
+
+    description: str
+    still_fails: bool
+
+
+@dataclass
+class Reduction:
+    """Minimal failing reproduction of one expectation miss."""
+
+    artifact_id: str
+    expectation_id: str
+    scale: str
+    seeds: List[int]
+    params: Dict[str, Any]
+    overrides: Dict[str, Any]
+    config_label: str
+    steps: List[ReductionStep] = field(default_factory=list)
+    attempts: int = 0
+
+    def config_summary(self) -> str:
+        config = artifact_config(
+            get_artifact(self.artifact_id), self.scale, self.overrides
+        )
+        return (
+            f"{config.num_gpcs} GPC(s) x {config.tpcs_per_gpc} TPCs "
+            f"= {config.num_sms} SMs ({self.config_label})"
+        )
+
+    def command(self) -> str:
+        """The CLI invocation replaying the minimal failing check."""
+        parts = [
+            f"python -m repro --scale {self.scale} golden check",
+            f"--artifact {self.artifact_id}",
+            "--seeds " + " ".join(str(s) for s in self.seeds),
+        ]
+        parts += [
+            f"--param {_format_pair(key, value)}"
+            for key, value in sorted(self.params.items())
+        ]
+        parts += [
+            f"--override {_format_pair(key, value)}"
+            for key, value in sorted(self.overrides.items())
+        ]
+        return " ".join(parts)
+
+    def report(self) -> str:
+        lines = [
+            f"reduced {self.expectation_id} "
+            f"({self.attempts} sweep(s) tried):",
+            f"  minimal config : {self.config_summary()}",
+            f"  minimal params : {self.params}",
+            f"  seeds          : {self.seeds}",
+            f"  replay         : {self.command()}",
+        ]
+        return "\n".join(lines)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, (list, tuple)):
+        inner = ",".join(str(v) for v in value)
+        if len(value) == 1:
+            inner += ","  # single-element tuples must parse as tuples
+        return f"({inner})"
+    return str(value)
+
+
+def _format_pair(key: str, value: Any) -> str:
+    """A ``key=value`` CLI token, shell-quoted when needed."""
+    return shlex.quote(f"{key}={_format_value(value)}")
+
+
+def _shrunken_params(params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Candidate one-step parameter shrinks, strongest first."""
+    candidates: List[Dict[str, Any]] = []
+    for key, value in params.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, int) and value > 1:
+            shrunk = dict(params)
+            shrunk[key] = max(1, value // 2)
+            candidates.append(shrunk)
+        elif isinstance(value, (list, tuple)) and len(value) > 2:
+            shrunk = dict(params)
+            shrunk[key] = (value[0], value[-1])
+            candidates.append(shrunk)
+    return candidates
+
+
+def reduce_failure(
+    artifact_id: str,
+    expectation_id: str,
+    scale: str,
+    seeds: Optional[Sequence[int]] = None,
+    params: Optional[Mapping[str, Any]] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+    cache: Optional[ResultCache] = None,
+    max_attempts: int = MAX_ATTEMPTS,
+) -> Reduction:
+    """Greedily shrink a failing expectation to its minimal repro.
+
+    ``overrides`` carries the perturbation (or config drift) that made
+    the expectation fail; it is preserved verbatim in every candidate so
+    the reducer shrinks the *machine*, not the bug.  Raises ValueError
+    if the expectation does not fail on the starting setup (nothing to
+    reduce).
+    """
+    artifact = get_artifact(artifact_id)
+    expectation = artifact.expectation(expectation_id)
+    state = {"attempts": 0}
+
+    def fails(
+        candidate_seeds: Sequence[int],
+        candidate_params: Mapping[str, Any],
+        candidate_overrides: Mapping[str, Any],
+    ) -> bool:
+        state["attempts"] += 1
+        samples = run_artifact(
+            artifact, scale, seeds=candidate_seeds,
+            params=candidate_params, overrides=candidate_overrides,
+            cache=cache, workers=1,
+        )
+        return not expectation.evaluate(samples).ok
+
+    current_seeds = list(seeds if seeds is not None else artifact.seeds)
+    current_params = dict(
+        params if params is not None else artifact.scales[scale]
+    )
+    base_overrides = dict(overrides or {})
+    current_overrides = dict(base_overrides)
+    config_label = "scale default"
+
+    if not fails(current_seeds, current_params, current_overrides):
+        raise ValueError(
+            f"{expectation_id} does not fail at scale {scale!r} with "
+            f"{current_params} and overrides {base_overrides}; "
+            "nothing to reduce"
+        )
+
+    steps: List[ReductionStep] = []
+
+    def attempt(description, seeds_c, params_c, overrides_c) -> bool:
+        if state["attempts"] >= max_attempts:
+            return False
+        still = fails(seeds_c, params_c, overrides_c)
+        steps.append(ReductionStep(description, still))
+        return still
+
+    # Axis 1: topology ladder (most informative shrink first).
+    for label, shrink in artifact.shrink_configs:
+        candidate = dict(shrink)
+        candidate.update(base_overrides)  # the perturbation survives
+        if attempt(f"config -> {label}", current_seeds, current_params,
+                   candidate):
+            current_overrides = candidate
+            config_label = label
+            break
+
+    # Axis 2: seed sweep.
+    while len(current_seeds) > 1:
+        candidate_seeds = current_seeds[:1]
+        if attempt(
+            f"seeds -> {candidate_seeds}", candidate_seeds,
+            current_params, current_overrides,
+        ):
+            current_seeds = candidate_seeds
+        else:
+            break
+
+    # Axis 3: numeric workload parameters, iterated to a fixpoint.
+    progress = True
+    while progress and state["attempts"] < max_attempts:
+        progress = False
+        for candidate_params in _shrunken_params(current_params):
+            changed = {
+                k: v for k, v in candidate_params.items()
+                if current_params.get(k) != v
+            }
+            if attempt(
+                f"params -> {changed}", current_seeds,
+                candidate_params, current_overrides,
+            ):
+                current_params = candidate_params
+                progress = True
+                break
+
+    return Reduction(
+        artifact_id=artifact_id,
+        expectation_id=expectation_id,
+        scale=scale,
+        seeds=current_seeds,
+        params=current_params,
+        overrides=current_overrides,
+        config_label=config_label,
+        steps=steps,
+        attempts=state["attempts"],
+    )

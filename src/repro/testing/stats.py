@@ -1,0 +1,183 @@
+"""Small-sample statistics for the golden-metric regression harness.
+
+Every acceptance check in :mod:`repro.testing` is evaluated over a *seed
+sweep* — the same artifact measured under several master seeds — so a
+tolerance is a statistical statement ("the confidence interval of the
+mean overlaps the acceptance band") rather than a magic epsilon.  The
+helpers here are deliberately dependency-free: a Student-t critical-value
+table replaces ``scipy.stats`` because seed sweeps are tiny (n = 2..10)
+and the table is exact for the degrees of freedom that matter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: Two-sided Student-t critical values, indexed [confidence][df - 1] for
+#: df 1..30; the four trailing entries cover df 40, 60, 120 and infinity.
+_T_TABLE = {
+    0.90: (
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833,
+        1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734,
+        1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703,
+        1.701, 1.699, 1.697, 1.684, 1.671, 1.658, 1.645,
+    ),
+    0.95: (
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048, 2.045, 2.042, 2.021, 2.000, 1.980, 1.960,
+    ),
+    0.99: (
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250,
+        3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878,
+        2.861, 2.845, 2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771,
+        2.763, 2.756, 2.750, 2.704, 2.660, 2.617, 2.576,
+    ),
+}
+
+#: df values of the trailing entries of every `_T_TABLE` row.
+_T_TAIL_DF = (40, 60, 120)
+
+
+def t_critical(df: int, confidence: float = 0.95) -> float:
+    """Two-sided Student-t critical value for ``df`` degrees of freedom.
+
+    Unsupported confidence levels fall back to the next *stricter*
+    tabulated level (never a looser one), and df beyond the table uses
+    the nearest smaller tabulated df — both conservative choices.
+    """
+    if df < 1:
+        raise ValueError("t_critical needs df >= 1")
+    level = min(
+        (c for c in _T_TABLE if c >= confidence), default=max(_T_TABLE)
+    )
+    row = _T_TABLE[level]
+    if df <= 30:
+        return row[df - 1]
+    for position, tail_df in enumerate(_T_TAIL_DF):
+        if df <= tail_df:
+            return row[30 + position]
+    return row[-1]
+
+
+def mean(samples: Sequence[float]) -> float:
+    if not samples:
+        raise ValueError("mean of no samples")
+    return sum(samples) / len(samples)
+
+
+def sample_std(samples: Sequence[float]) -> float:
+    """Unbiased (n-1) standard deviation; 0.0 for fewer than 2 samples."""
+    n = len(samples)
+    if n < 2:
+        return 0.0
+    m = mean(samples)
+    return math.sqrt(sum((x - m) ** 2 for x in samples) / (n - 1))
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """Mean ± half-width of a t-interval over one metric's seed sweep."""
+
+    mean: float
+    half_width: float
+    n: int
+    confidence: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.3g} (n={self.n})"
+
+
+def mean_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """t-interval of the mean; a single sample gets a zero half-width."""
+    n = len(samples)
+    m = mean(samples)
+    if n < 2:
+        return ConfidenceInterval(m, 0.0, n, confidence)
+    half = t_critical(n - 1, confidence) * sample_std(samples) / math.sqrt(n)
+    return ConfidenceInterval(m, half, n, confidence)
+
+
+def welch_margin(
+    a: Sequence[float], b: Sequence[float], confidence: float = 0.95
+) -> float:
+    """Two-sample margin: how far apart may the means of ``a`` and ``b``
+    drift before the difference is statistically significant.
+
+    Uses the Welch standard error with a conservative ``min(n) - 1``
+    degrees of freedom.  Degenerate sweeps (single samples, identical
+    values) get a zero margin — any drift is then real drift.
+    """
+    na, nb = len(a), len(b)
+    if not na or not nb:
+        raise ValueError("welch_margin needs samples on both sides")
+    if na < 2 and nb < 2:
+        return 0.0
+    var_a = sample_std(a) ** 2
+    var_b = sample_std(b) ** 2
+    se = math.sqrt(var_a / na + var_b / nb)
+    df = max(1, min(na, nb) - 1)
+    return t_critical(df, confidence) * se
+
+
+def least_squares_slope(
+    xs: Sequence[float], ys: Sequence[float]
+) -> float:
+    """Ordinary least-squares slope of ``ys`` against ``xs``."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("slope needs >= 2 paired points")
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    num = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    den = sum((x - mx) ** 2 for x in xs)
+    return num / den if den else 0.0
+
+
+def pointwise_means(series_samples: Sequence[Sequence[float]]) -> List[float]:
+    """Per-position means over a sweep of equal-length series samples."""
+    if not series_samples:
+        raise ValueError("pointwise_means of no samples")
+    length = len(series_samples[0])
+    for series in series_samples:
+        if len(series) != length:
+            raise ValueError(
+                "series samples have mismatched lengths "
+                f"({[len(s) for s in series_samples]})"
+            )
+    return [
+        mean([series[i] for series in series_samples])
+        for i in range(length)
+    ]
+
+
+def pointwise_intervals(
+    series_samples: Sequence[Sequence[float]], confidence: float = 0.95
+) -> List[ConfidenceInterval]:
+    """Per-position t-intervals over a sweep of series samples."""
+    length = len(pointwise_means(series_samples))
+    return [
+        mean_interval([series[i] for series in series_samples], confidence)
+        for i in range(length)
+    ]
+
+
+def bands_overlap(
+    lo_a: float, hi_a: float, lo_b: float, hi_b: float
+) -> bool:
+    """True when the closed intervals [lo_a, hi_a] and [lo_b, hi_b]
+    intersect (``-inf``/``inf`` endpoints encode one-sided bands)."""
+    return lo_a <= hi_b and lo_b <= hi_a

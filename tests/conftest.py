@@ -1,9 +1,26 @@
-"""Shared fixtures: scaled-down GPU configs and device factories."""
+"""Shared fixtures: scaled-down GPU configs and device factories.
+
+The suite must be bit-reproducible run to run: every simulation seed
+flows from an explicit ``GpuConfig.seed`` (default 2021), and the
+property-based tests below load a derandomised Hypothesis profile so
+example generation is a pure function of the test source — no hidden
+RNG state, no flaky shrink targets in CI.
+"""
 
 import pytest
 
 from repro.config import GpuConfig, VOLTA_V100, medium_config, small_config
 from repro.gpu.device import GpuDevice
+
+try:
+    from hypothesis import settings
+
+    settings.register_profile(
+        "repro-deterministic", derandomize=True, deadline=None
+    )
+    settings.load_profile("repro-deterministic")
+except ImportError:  # pragma: no cover - hypothesis is optional
+    pass
 
 
 @pytest.fixture

@@ -1,0 +1,65 @@
+"""Pytest plugin for paper-artifact acceptance tests.
+
+Loaded via the repo-root ``conftest.py`` (``pytest_plugins``).  A test
+marked ``@paper_artifact("fig10a", scale="small")`` receives the
+evaluated seed sweep through the ``artifact_run`` fixture:
+
+    @paper_artifact("fig10a")
+    def test_fig10a(artifact_run):
+        assert artifact_run.passed, artifact_run.report()
+
+Sweeps run through :mod:`repro.runner`'s :class:`ResultCache`, so a
+session that already executed ``python -m repro golden check`` (or a
+previous pytest run with a warm ``.repro_cache``) replays results
+instead of re-simulating.  Runs are additionally memoised in-process
+per ``(artifact, scale)`` so several tests can assert on different
+expectations of the same sweep for one simulation's cost.
+
+Select just these tests with ``pytest -q -m paper_artifact``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+MARKER = "paper_artifact"
+
+#: In-process memo of evaluated sweeps, keyed by (artifact_id, scale).
+_RUNS: Dict[Tuple[str, str], object] = {}
+
+
+def paper_artifact(artifact_id: str, scale: str = "small"):
+    """Marker factory: bind a test to one artifact's golden sweep."""
+    return pytest.mark.paper_artifact(artifact_id, scale=scale)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        f"{MARKER}(artifact_id, scale='small'): statistical acceptance "
+        "test against one paper artifact's golden metric sweep",
+    )
+
+
+@pytest.fixture
+def artifact_run(request):
+    """The :class:`~repro.testing.ArtifactRun` for the test's marker."""
+    marker = request.node.get_closest_marker(MARKER)
+    if marker is None or not marker.args:
+        raise pytest.UsageError(
+            "artifact_run requires @paper_artifact('<artifact-id>', "
+            "scale=...) on the test"
+        )
+    artifact_id = marker.args[0]
+    scale = marker.kwargs.get("scale", "small")
+    key = (artifact_id, scale)
+    if key not in _RUNS:
+        from repro.runner import ResultCache
+        from repro.testing import check_artifact
+
+        _RUNS[key] = check_artifact(
+            artifact_id, scale, cache=ResultCache(), workers=1,
+        )
+    return _RUNS[key]

@@ -114,3 +114,69 @@ class TestTable2:
             by_name["GPU TPC Channel (all TPCs)"].bandwidth_mbps
             > by_name["GPU TPC Channel"].bandwidth_mbps
         )
+
+
+class TestFigureDataStructures:
+    """The figure builders return plain data (no plotting) — assert the
+    structures downstream consumers (tables, golden harness) rely on."""
+
+    def test_fig10_series_rows_mirror_points(self):
+        from repro.analysis.figures import BandwidthErrorPoint, Fig10Series
+
+        series = Fig10Series(
+            label="tpc",
+            points=[
+                BandwidthErrorPoint(1, 800.0, 0.0),
+                BandwidthErrorPoint(2, 650.0, 0.01),
+            ],
+        )
+        assert series.rows() == [(1, 800.0, 0.0), (2, 650.0, 0.01)]
+
+    def test_fig10_panel_point_fields(self):
+        series = fig10_panel(
+            small_config(), "tpc", iterations=(1, 2), bits_per_channel=6
+        )
+        assert series.label
+        assert [p.iterations for p in series.points] == [1, 2]
+        for point in series.points:
+            assert point.bandwidth_kbps > 0
+            assert 0.0 <= point.error_rate <= 1.0
+
+    def test_fig10_panel_is_deterministic_for_a_seed(self):
+        a = fig10_panel(
+            small_config(), "tpc", iterations=(2,), bits_per_channel=6,
+            seed=1234,
+        )
+        b = fig10_panel(
+            small_config(), "tpc", iterations=(2,), bits_per_channel=6,
+            seed=1234,
+        )
+        assert a.rows() == b.rows()
+
+    def test_fig14_pattern_is_level_cycle(self):
+        pattern, trace = fig14_multilevel_trace(small_config(), repeats=2)
+        assert pattern == [0, 1, 0, 2, 0, 3] * 2
+        assert len(trace) == len(pattern)
+        assert all(isinstance(v, (int, float)) for v in trace)
+
+    def test_table2_row_fields(self):
+        rows = table2_summary(small_config(), bits_per_channel=4)
+        for row in rows:
+            assert isinstance(row.channel, str)
+            assert 0.0 <= row.error_rate <= 1.0
+            assert row.bandwidth_mbps > 0
+
+
+class TestTableEdgeCases:
+    def test_format_table_no_rows_renders_header_only(self):
+        text = format_table(["a", "bb"], [])
+        lines = text.splitlines()
+        assert lines == ["a  bb", "-  --"]
+
+    def test_format_table_mixed_types(self):
+        text = format_table(["k", "v"], [["x", 1], ["y", None]])
+        assert "None" in text and "x" in text
+
+    def test_format_series_empty(self):
+        text = format_series([], [], "x", "y")
+        assert len(text.splitlines()) == 2

@@ -53,3 +53,126 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "bit rate" in out
+
+
+class TestTraceCommand:
+    def test_trace_transmit_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(
+            ["trace", "--figure", "transmit", "--out", str(out), "--bits", "4"]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "traced transmit" in stdout
+        assert str(out) in stdout
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        assert all("ph" in e and "pid" in e for e in payload["traceEvents"])
+        assert any("ts" in e for e in payload["traceEvents"])
+
+    def test_trace_fig2_runs(self, tmp_path, capsys):
+        out = tmp_path / "fig2-trace.json"
+        assert main(
+            ["trace", "--figure", "fig2", "--out", str(out), "--ops", "2"]
+        ) == 0
+        assert out.is_file()
+
+    def test_trace_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--figure", "fig99"])
+
+
+class TestFuzzCommand:
+    def test_single_run_exits_zero(self, capsys):
+        assert main(
+            ["fuzz", "--runs", "1", "--cycles", "20000", "--no-oracle"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 case(s), 0 failure(s)" in out
+        assert "ok" in out
+
+    def test_quick_defaults_to_six_runs(self):
+        args = build_parser().parse_args(["fuzz", "--quick"])
+        assert args.quick and args.runs is None
+
+
+class TestValidateFlag:
+    def test_transmit_with_validation_enabled(self, capsys):
+        assert main(["--validate", "transmit", "--message", "hi"]) == 0
+        out = capsys.readouterr().out
+        assert "b'hi'" in out
+
+
+class TestGoldenCommand:
+    @pytest.fixture(autouse=True)
+    def _isolated_dirs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        self.golden_dir = tmp_path / "golden"
+
+    def _golden(self, *argv):
+        return main(
+            ["golden", *argv, "--golden-dir", str(self.golden_dir)]
+        )
+
+    def test_list_shows_registry_and_missing_goldens(self, capsys):
+        assert self._golden("list") == 0
+        out = capsys.readouterr().out
+        assert "fig7_8" in out
+        assert "fig7_8.sharing_slope" in out
+        assert "no" in out  # nothing recorded in the isolated dir
+
+    def test_record_then_check_round_trip(self, capsys):
+        assert self._golden("record", "--artifact", "fig7_8") == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (self.golden_dir / "small" / "fig7_8.json").is_file()
+
+        # Second record keeps the existing snapshot untouched.
+        assert self._golden("record", "--artifact", "fig7_8") == 0
+        assert "keep" in capsys.readouterr().out
+
+        # The check replays from the ResultCache and passes drift.
+        assert self._golden("check", "--artifact", "fig7_8") == 0
+        out = capsys.readouterr().out
+        assert "PASS fig7_8.sharing_slope" in out
+        assert "1 passed, 0 failed" in out
+
+    def test_check_without_golden_is_expectations_only(
+        self, tmp_path, capsys
+    ):
+        report = tmp_path / "report.json"
+        assert self._golden(
+            "check", "--artifact", "fig7_8",
+            "--seeds", "11", "--param", "ops=1",
+            "--param", "fractions=(0.0,1.0)",
+            "--report", str(report),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 passed, 0 failed" in out
+        assert "DRIFT" not in out  # custom sweep skips the drift check
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["passed"] is True
+        assert payload["artifacts"][0]["artifact"] == "fig7_8"
+
+    def test_perturbed_check_fails_with_exit_one(self, capsys):
+        assert self._golden(
+            "check", "--artifact", "fig7_8",
+            "--seeds", "11", "--param", "ops=1",
+            "--param", "fractions=(0.0,1.0)",
+            "--override", "arbitration=srr",
+        ) == 1
+        out = capsys.readouterr().out
+        assert "FAIL fig7_8.sharing_slope" in out
+
+    def test_unknown_artifact_rejected(self, capsys):
+        with pytest.raises(KeyError):
+            self._golden("check", "--artifact", "fig99")
+
+    def test_bad_scale_exits_two(self, capsys):
+        assert main(
+            ["--scale", "pascal", "golden", "list",
+             "--golden-dir", str(self.golden_dir)]
+        ) == 2

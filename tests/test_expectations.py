@@ -1,0 +1,215 @@
+"""Unit tests for the expectation DSL and its small-sample statistics."""
+
+import math
+
+import pytest
+
+from repro.testing.expectations import (
+    Expectation,
+    above,
+    below,
+    between,
+    flat,
+    monotonic,
+    ordering,
+    ratio_near,
+    slope_between,
+)
+from repro.testing.stats import (
+    ConfidenceInterval,
+    bands_overlap,
+    least_squares_slope,
+    mean_interval,
+    pointwise_intervals,
+    pointwise_means,
+    sample_std,
+    t_critical,
+    welch_margin,
+)
+
+
+class TestTCritical:
+    def test_tabulated_values(self):
+        assert t_critical(1, 0.95) == pytest.approx(12.706)
+        assert t_critical(2, 0.95) == pytest.approx(4.303)
+        assert t_critical(10, 0.99) == pytest.approx(3.169)
+        assert t_critical(30, 0.90) == pytest.approx(1.697)
+
+    def test_large_df_uses_tail_entries(self):
+        assert t_critical(35, 0.95) == pytest.approx(2.021)  # df<=40 row
+        assert t_critical(100, 0.95) == pytest.approx(1.980)  # df<=120 row
+        assert t_critical(10_000, 0.95) == pytest.approx(1.960)  # z limit
+
+    def test_untabulated_confidence_rounds_stricter(self):
+        # 0.97 is not tabulated; must use the stricter 0.99 row.
+        assert t_critical(5, 0.97) == t_critical(5, 0.99)
+
+    def test_df_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            t_critical(0)
+
+
+class TestIntervals:
+    def test_single_sample_has_zero_half_width(self):
+        ci = mean_interval([4.2])
+        assert ci.mean == 4.2
+        assert ci.half_width == 0.0
+        assert ci.low == ci.high == 4.2
+
+    def test_interval_matches_hand_computation(self):
+        samples = [10.0, 12.0, 14.0]
+        ci = mean_interval(samples, 0.95)
+        expected_half = 4.303 * sample_std(samples) / math.sqrt(3)
+        assert ci.mean == pytest.approx(12.0)
+        assert ci.half_width == pytest.approx(expected_half)
+        assert ci.n == 3
+
+    def test_sample_std_degenerate(self):
+        assert sample_std([]) == 0.0
+        assert sample_std([7.0]) == 0.0
+        assert sample_std([3.0, 3.0, 3.0]) == 0.0
+
+    def test_welch_margin_zero_for_degenerate_sweeps(self):
+        assert welch_margin([1.0], [2.0]) == 0.0
+        assert welch_margin([5.0, 5.0], [5.0, 5.0]) == 0.0
+
+    def test_welch_margin_grows_with_spread(self):
+        tight = welch_margin([1.0, 1.01, 0.99], [1.0, 1.02, 0.98])
+        wide = welch_margin([1.0, 2.0, 0.0], [1.0, 3.0, -1.0])
+        assert wide > tight > 0.0
+
+    def test_welch_margin_rejects_empty(self):
+        with pytest.raises(ValueError):
+            welch_margin([], [1.0])
+
+
+class TestSeriesStats:
+    def test_pointwise_means(self):
+        assert pointwise_means([[1.0, 3.0], [3.0, 5.0]]) == [2.0, 4.0]
+
+    def test_pointwise_means_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            pointwise_means([[1.0, 2.0], [1.0]])
+
+    def test_pointwise_intervals(self):
+        cis = pointwise_intervals([[1.0, 3.0], [3.0, 5.0]])
+        assert [ci.mean for ci in cis] == [2.0, 4.0]
+        assert all(isinstance(ci, ConfidenceInterval) for ci in cis)
+
+    def test_least_squares_slope(self):
+        assert least_squares_slope([0, 1, 2], [1, 3, 5]) == pytest.approx(2.0)
+        assert least_squares_slope([1, 1], [0, 10]) == 0.0  # degenerate x
+        with pytest.raises(ValueError):
+            least_squares_slope([1], [2])
+
+    def test_bands_overlap(self):
+        assert bands_overlap(0, 1, 1, 2)  # touching counts
+        assert not bands_overlap(0, 1, 1.1, 2)
+        assert bands_overlap(-math.inf, 0.5, 0.0, math.inf)
+
+
+class TestBandExpectations:
+    def test_ratio_near_passes_inside_band(self):
+        exp = ratio_near("x.double", "ratio", 2.0, rel_tol=0.1)
+        result = exp.evaluate({"ratio": [1.95, 2.0, 2.05]})
+        assert result.ok
+        assert "PASS" in result.line()
+
+    def test_ratio_near_fails_outside_band(self):
+        exp = ratio_near("x.double", "ratio", 2.0, rel_tol=0.05)
+        result = exp.evaluate({"ratio": [1.0, 1.0, 1.0]})
+        assert not result.ok
+        assert "FAIL x.double" in result.line()
+
+    def test_band_is_statistical_not_epsilon(self):
+        # Mean 1.25 lies outside [0.9, 1.1], but the sweep is noisy
+        # enough that the CI reaches the band -> statistically a pass.
+        exp = between("x.b", "m", 0.9, 1.1)
+        noisy = {"m": [0.7, 1.25, 1.8]}
+        assert exp.evaluate(noisy).ok
+        # The same mean with a tight sweep is a clear fail.
+        tight = {"m": [1.24, 1.25, 1.26]}
+        assert not exp.evaluate(tight).ok
+
+    def test_flat_below_above(self):
+        assert flat("x.f", "m", tol=0.1).evaluate({"m": [0.02, -0.03]}).ok
+        assert below("x.lo", "m", 5.0).evaluate({"m": [4.0, 4.5]}).ok
+        assert not below("x.lo", "m", 5.0).evaluate({"m": [6.0, 6.0]}).ok
+        assert above("x.hi", "m", 5.0).evaluate({"m": [6.0, 7.0]}).ok
+        assert not above("x.hi", "m", 5.0).evaluate({"m": [1.0, 1.0]}).ok
+
+    def test_slope_between_describe_mentions_band(self):
+        exp = slope_between("x.s", "slope", 0.8, 1.2)
+        assert "[0.8, 1.2]" in exp.describe()
+
+    def test_missing_metric_fails_with_detail(self):
+        result = ratio_near("x.r", "gone", 2.0).evaluate({"other": [1.0]})
+        assert not result.ok
+        assert "gone" in result.detail
+
+
+class TestOrderingExpectations:
+    def test_ordering_passes_when_strictly_decreasing(self):
+        exp = ordering("x.ord", ("a", "b", "c"))
+        samples = {"a": [3.0, 3.1], "b": [2.0, 2.1], "c": [1.0, 1.1]}
+        assert exp.evaluate(samples).ok
+
+    def test_ordering_fails_on_inversion(self):
+        exp = ordering("x.ord", ("a", "b"), min_gap=0.5)
+        result = exp.evaluate({"a": [1.0, 1.0], "b": [2.0, 2.0]})
+        assert not result.ok
+        assert "a" in result.detail and "b" in result.detail
+
+    def test_ordering_optimistic_gap_spares_noisy_ties(self):
+        # Means are tied, but wide intervals make the optimistic gap
+        # exceed zero, so a no-gap ordering does not fail.
+        exp = ordering("x.ord", ("a", "b"))
+        noisy = {"a": [0.5, 1.5], "b": [0.5, 1.5]}
+        assert exp.evaluate(noisy).ok
+
+    def test_ordering_requires_two_metrics(self):
+        with pytest.raises(ValueError):
+            ordering("x.bad", ("only",))
+
+
+class TestMonotonicExpectations:
+    def test_increasing_series_passes(self):
+        exp = monotonic("x.mono", "series")
+        assert exp.evaluate({"series": [[1, 2, 3], [1, 2, 4]]}).ok
+
+    def test_decreasing_direction(self):
+        exp = monotonic("x.mono", "series", direction="decreasing")
+        assert exp.evaluate({"series": [[3, 2, 1]]}).ok
+        result = exp.evaluate({"series": [[1, 2, 3]]})
+        assert not result.ok
+        assert "step 0" in result.detail
+
+    def test_slack_tolerates_small_dips(self):
+        exp = monotonic("x.mono", "series", slack=0.5)
+        assert exp.evaluate({"series": [[1.0, 0.8, 2.0]]}).ok
+        assert not exp.evaluate({"series": [[1.0, 0.2, 2.0]]}).ok
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            monotonic("x.bad", "series", direction="sideways")
+
+
+class TestExpectationPlumbing:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Expectation(id="x", kind="wavy", metrics=("m",))
+
+    def test_to_dict_encodes_infinite_bounds_as_none(self):
+        d = below("x.lo", "m", 3.0).to_dict()
+        assert d["band"] == [None, 3.0]
+        assert d["kind"] == "band"
+
+    def test_result_to_dict_round_trip_fields(self):
+        result = ratio_near("x.r", "m", 1.0).evaluate({"m": [1.0]})
+        d = result.to_dict()
+        assert d["expectation"] == "x.r"
+        assert d["ok"] is True
+        assert set(d) == {
+            "expectation", "kind", "metric", "ok", "observed",
+            "expected", "detail",
+        }

@@ -35,3 +35,25 @@ class TestReportGenerator:
         report = generate_report(sections=["tpc-discovery"])
         assert report.startswith("# repro experiment report")
         assert "## TPC discovery" in report
+
+
+class TestReportSection:
+    def test_render_has_heading_and_trailing_blank(self):
+        from repro.analysis.report import ReportSection
+
+        section = ReportSection("Demo", ["line one", "line two"])
+        rendered = section.render()
+        assert rendered.splitlines()[0] == "## Demo"
+        assert rendered.endswith("\n")
+        assert "line one" in rendered
+
+    def test_render_empty_body(self):
+        from repro.analysis.report import ReportSection
+
+        assert ReportSection("Empty").render() == "## Empty\n\n"
+
+    def test_default_report_covers_every_section(self):
+        from repro.analysis.report import REPORT_SECTIONS
+
+        report = generate_report()
+        assert report.count("## ") == len(REPORT_SECTIONS)
