@@ -39,9 +39,15 @@ def main() -> None:
 
     cache = ResultCache()
     start = time.perf_counter()
+    # timeout_s/retries engage the supervised runner: each point executes
+    # in its own babysat worker process, so a crash or hang in one point
+    # is retried with backoff instead of aborting the sweep, and every
+    # completed result is checkpointed write-through as it arrives.
     rows = run_jobs(
         jobs,
         cache=cache,
+        timeout_s=600.0,
+        retries=2,
         progress=lambda done, total: print(f"  {done}/{total} points done"),
     )
     elapsed = time.perf_counter() - start

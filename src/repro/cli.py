@@ -13,6 +13,7 @@ Gives downstream users a zero-code way to run the paper's experiments::
     python -m repro bench                   # engine strategy benchmark
     python -m repro trace --figure fig5     # Perfetto trace of a run
     python -m repro fuzz --quick            # randomized integrity fuzzing
+    python -m repro chaos --quick           # fault-injection sweep drill
     python -m repro golden check            # golden-metric regression gate
 
 ``--scale {small,medium,volta}`` selects the simulated GPU (default
@@ -23,7 +24,12 @@ violation naming the cycle and component on the first inconsistency.
 
 Sweep commands (``fig10``, ``table2``) fan their independent points over
 worker processes (``--workers``) and reuse cached results from
-``.repro_cache`` (disable with ``--no-cache``).
+``.repro_cache`` (disable with ``--no-cache``).  Any of ``--timeout``,
+``--retries``, ``--keep-going``, ``--resume`` or ``--journal`` runs the
+sweep under per-job supervision (``repro.runner.supervisor``): hung
+workers are killed and retried, crashes become structured failure
+records instead of aborting the sweep, and completed points checkpoint
+to a journal that ``--resume`` replays after a crash or Ctrl-C.
 """
 
 from __future__ import annotations
@@ -156,8 +162,62 @@ def _sweep_cache(args):
     return None if args.no_cache else ResultCache()
 
 
+def _run_sweep(args, jobs, name):
+    """Run a CLI sweep, engaging supervision when any flag asks for it.
+
+    Returns ``(rows, failures)``: rows in job order with failed slots
+    removed, failures as structured ``JobFailure`` records.  With
+    ``--resume`` (or ``--journal``) completed points checkpoint to an
+    append-only JSONL journal — default ``.repro_sweeps/<name>.jsonl``
+    — and a rerun replays them instead of re-simulating.
+    """
+    from .config import SweepSupervision
+    from .runner import JobFailure, run_jobs
+    from .runner.journal import SweepJournal, default_journal_path
+
+    supervised = (
+        args.timeout is not None or args.retries is not None
+        or args.keep_going or args.resume or args.journal is not None
+    )
+    if not supervised:
+        return run_jobs(jobs, workers=args.workers,
+                        cache=_sweep_cache(args)), []
+
+    policy = SweepSupervision.from_env()
+    if args.timeout is not None:
+        policy = policy.replace(timeout_s=args.timeout)
+    if args.retries is not None:
+        policy = policy.replace(max_attempts=args.retries + 1)
+    journal_path = args.journal or default_journal_path(name)
+    from .runner import run_supervised
+
+    with SweepJournal(journal_path) as journal:
+        outcome = run_supervised(
+            jobs, workers=args.workers, cache=_sweep_cache(args),
+            policy=policy, journal=journal, resume=args.resume,
+        )
+    counters = outcome.counters
+    replays = counters.get("journal_replays", 0)
+    if replays:
+        print(f"resumed from {journal_path}: {replays} point(s) replayed")
+    if counters.get("retries") or counters.get("quarantined"):
+        print(
+            f"supervision: {counters.get('attempts', 0)} attempt(s), "
+            f"{counters.get('retries', 0)} retried, "
+            f"{counters.get('quarantined', 0)} cache entr(ies) quarantined"
+        )
+    for failure in outcome.failures:
+        print(f"FAILED {failure}", file=sys.stderr)
+    if outcome.failures and not args.keep_going:
+        from .runner import SweepError
+
+        raise SweepError(outcome.failures, outcome.results)
+    rows = [r for r in outcome.results if not isinstance(r, JobFailure)]
+    return rows, outcome.failures
+
+
 def cmd_fig10(args) -> int:
-    from .runner import SimJob, run_jobs
+    from .runner import SimJob
 
     config = _config(args)
     jobs = [
@@ -173,14 +233,14 @@ def cmd_fig10(args) -> int:
         )
         for index, count in enumerate(args.iterations)
     ]
-    rows = run_jobs(jobs, workers=args.workers, cache=_sweep_cache(args))
+    rows, failures = _run_sweep(args, jobs, f"fig10-{args.scale}")
     print(format_table(
         ["iterations", "bit rate (kbps)", "error rate"],
         [(r["iterations"], r["bandwidth_kbps"], r["error_rate"])
          for r in rows],
     ))
     _print_sweep_latency(rows)
-    return 0
+    return 1 if failures else 0
 
 
 def _print_sweep_latency(rows) -> None:
@@ -220,7 +280,7 @@ def cmd_fig15(args) -> int:
 
 
 def cmd_table2(args) -> int:
-    from .runner import SimJob, run_jobs
+    from .runner import SimJob
 
     config = _config(args)
     kinds = ("tpc", "multi-tpc", "gpc", "multi-gpc")
@@ -236,14 +296,14 @@ def cmd_table2(args) -> int:
         )
         for index, kind in enumerate(kinds)
     ]
-    rows = run_jobs(jobs, workers=args.workers, cache=_sweep_cache(args))
+    rows, failures = _run_sweep(args, jobs, f"table2-{args.scale}")
     print(format_table(
         ["channel", "error rate", "bandwidth (Mbps)"],
         [(r["channel"], r["error_rate"], r["bandwidth_mbps"])
          for r in rows],
     ))
     _print_sweep_latency(rows)
-    return 0
+    return 1 if failures else 0
 
 
 def cmd_bench(args) -> int:
@@ -267,6 +327,13 @@ def cmd_bench(args) -> int:
         f"on     {telemetry['enabled_wall_s']:7.3f}s  "
         f"overhead {telemetry['overhead_frac'] * 100:+.1f}%"
     )
+    supervision = report.get("supervision")
+    if supervision:
+        print(
+            f"supervision  legacy {supervision['legacy_wall_s']:5.3f}s  "
+            f"supervised {supervision['supervised_wall_s']:7.3f}s  "
+            f"overhead {supervision['overhead_frac'] * 100:+.1f}%"
+        )
     if "output" in report:
         print(f"wrote {report['output']}")
     return 0
@@ -344,6 +411,62 @@ def cmd_fuzz(args) -> int:
             file=sys.stderr,
         )
     return 1 if failed else 0
+
+
+def cmd_chaos(args) -> int:
+    """Fault-injection drill for the supervised sweep runner."""
+    import json as _json
+
+    from .runner import run_chaos
+    from .runner.chaos import FAULT_PLANS
+
+    kinds = tuple(args.kinds or FAULT_PLANS)
+    for kind in kinds:
+        if kind not in FAULT_PLANS:
+            print(f"unknown fault kind {kind!r}; choose from "
+                  f"{sorted(FAULT_PLANS)}", file=sys.stderr)
+            return 2
+    num_jobs = 12 if args.quick and args.jobs is None else (args.jobs or 32)
+    timeout = args.timeout if args.timeout is not None else (
+        0.3 if args.quick else 0.5
+    )
+
+    def progress(done: int, total: int) -> None:
+        print(f"\rchaos sweep: {done}/{total}", end="", flush=True)
+
+    report = run_chaos(
+        seed=args.seed, num_jobs=num_jobs, kinds=kinds,
+        workers=args.workers, timeout_s=timeout,
+        on_progress=progress if not args.quiet else None,
+    )
+    if not args.quiet:
+        print()
+    print(format_table(
+        ["job", "injected fault plan"],
+        sorted(report.fault_plan.items()),
+    ))
+    counters = report.counters
+    print(
+        f"{report.jobs} jobs, {counters.get('attempts', 0)} attempts, "
+        f"{counters.get('retries', 0)} retries | failures: "
+        f"{counters.get('failures_exception', 0)} exception, "
+        f"{counters.get('failures_timeout', 0)} timeout, "
+        f"{counters.get('failures_worker_death', 0)} worker-death"
+    )
+    print(f"healthy results bit-identical to fault-free reference: "
+          f"{report.healthy_identical}")
+    print(f"resume replayed {report.resume['replayed']} point(s), "
+          f"re-executed {report.resume['reexecuted']}")
+    print(f"cache corruption: {report.quarantine['injected']} injected, "
+          f"{report.quarantine['quarantined']} quarantined")
+    for problem in report.problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    if args.manifest:
+        with open(args.manifest, "w", encoding="utf-8") as handle:
+            _json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote {args.manifest}")
+    print("chaos drill: " + ("OK" if report.ok else "FAILED"))
+    return 0 if report.ok else 1
 
 
 def _parse_kv(pairs, label: str) -> dict:
@@ -525,6 +648,31 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache", action="store_true",
             help="bypass the on-disk result cache (.repro_cache)",
         )
+        sweep.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-job wall-clock budget; a worker exceeding it is "
+                 "killed and the job retried (enables supervision)",
+        )
+        sweep.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="extra attempts per failed job, with exponential backoff "
+                 "(enables supervision)",
+        )
+        sweep.add_argument(
+            "--keep-going", action="store_true",
+            help="complete the sweep despite failed jobs; failures are "
+                 "reported as structured records (exit code 1)",
+        )
+        sweep.add_argument(
+            "--resume", action="store_true",
+            help="replay points already completed in this sweep's journal "
+                 "and execute only the remainder",
+        )
+        sweep.add_argument(
+            "--journal", default=None, metavar="FILE",
+            help="sweep journal path (default: .repro_sweeps/<sweep>.jsonl "
+                 "or $REPRO_JOURNAL_DIR)",
+        )
 
     bench = sub.add_parser(
         "bench", help="time the naive vs active-set engine strategies"
@@ -567,6 +715,33 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the naive-vs-active lockstep comparison")
     fuzz.add_argument("--quick", action="store_true",
                       help="CI mode: a small time-boxed case budget")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection drill: crash/hang/kill workers mid-sweep "
+             "and verify supervision, resume and cache quarantine",
+    )
+    chaos.add_argument("--jobs", type=int, default=None,
+                       help="sweep size (default: 32, or 12 with --quick)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-placement seed")
+    chaos.add_argument(
+        "--kind", action="append", dest="kinds", metavar="KIND",
+        help="inject only this fault kind (repeatable; default: all)",
+    )
+    chaos.add_argument("--timeout", type=float, default=None,
+                       help="per-job supervision timeout in seconds "
+                            "(default: 0.5, or 0.3 with --quick)")
+    chaos.add_argument("--workers", type=int, default=None,
+                       help="concurrent supervised workers")
+    chaos.add_argument("--manifest", default="chaos-manifest.json",
+                       metavar="FILE",
+                       help="write the failure manifest as JSON "
+                            "(default: chaos-manifest.json)")
+    chaos.add_argument("--quick", action="store_true",
+                       help="CI smoke budget: fewer jobs, tighter timeout")
+    chaos.add_argument("--quiet", action="store_true",
+                       help="suppress the live progress line")
 
     golden = sub.add_parser(
         "golden",
@@ -633,6 +808,7 @@ COMMANDS = {
     "bench": cmd_bench,
     "trace": cmd_trace,
     "fuzz": cmd_fuzz,
+    "chaos": cmd_chaos,
     "golden": cmd_golden,
 }
 

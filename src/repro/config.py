@@ -81,6 +81,100 @@ class ClockSkewModel:
     read_jitter: int = 2
 
 
+#: Environment knobs for the sweep-supervision defaults (see
+#: :meth:`SweepSupervision.from_env`).
+SWEEP_TIMEOUT_ENV = "REPRO_SWEEP_TIMEOUT_S"
+SWEEP_ATTEMPTS_ENV = "REPRO_SWEEP_ATTEMPTS"
+SWEEP_BACKOFF_ENV = "REPRO_SWEEP_BACKOFF_S"
+
+
+@dataclass(frozen=True)
+class SweepSupervision:
+    """Fault-tolerance policy for supervised sweep execution.
+
+    Consumed by :func:`repro.runner.supervisor.run_supervised`: every job
+    of a sweep is executed in its own worker process under a per-job
+    wall-clock ``timeout_s`` and retried up to ``max_attempts`` times with
+    exponential backoff.  The backoff jitter is *deterministic* — derived
+    from the job's content-hash key and the attempt number, never from
+    wall-clock entropy — so a replayed sweep schedules retries
+    identically.
+
+    This lives here (rather than in the runner package) because it is
+    configuration in the same sense as :class:`GpuConfig`: a frozen,
+    picklable record that experiments thread through unchanged.  It is
+    deliberately *not* a field of :class:`GpuConfig` — how a sweep is
+    babysat must not perturb result-cache keys, which hash the GPU model
+    alone.
+    """
+
+    #: Per-job wall-clock budget in seconds; a worker that has not
+    #: reported within it is killed and the job rescheduled.  ``None``
+    #: disables the timeout (a hung worker then hangs its slot forever).
+    timeout_s: float | None = None
+    #: Total attempts per job (1 = no retries).  A job whose last attempt
+    #: fails becomes a structured ``JobFailure`` in the sweep results.
+    max_attempts: int = 3
+    #: First-retry backoff in seconds; attempt ``n`` waits
+    #: ``backoff_base_s * backoff_factor**(n-1)`` (capped at
+    #: ``backoff_max_s``) before being rescheduled.
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    #: Fractional jitter applied on top of the exponential delay,
+    #: deterministic per (job key, attempt).
+    backoff_jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+
+    def replace(self, **changes) -> "SweepSupervision":
+        """Return a copy of this policy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    @staticmethod
+    def from_env() -> "SweepSupervision":
+        """Default policy, overridable via ``REPRO_SWEEP_*`` variables.
+
+        ``REPRO_SWEEP_TIMEOUT_S`` (float seconds), ``REPRO_SWEEP_ATTEMPTS``
+        (int) and ``REPRO_SWEEP_BACKOFF_S`` (float, first-retry delay) let
+        CI wrap every sweep command in a safety net without per-command
+        flags.  Unset or unparsable variables fall back to the dataclass
+        defaults.
+        """
+        import os
+
+        changes: Dict[str, object] = {}
+        raw = os.environ.get(SWEEP_TIMEOUT_ENV)
+        if raw:
+            try:
+                changes["timeout_s"] = float(raw)
+            except ValueError:
+                pass
+        raw = os.environ.get(SWEEP_ATTEMPTS_ENV)
+        if raw:
+            try:
+                changes["max_attempts"] = int(raw)
+            except ValueError:
+                pass
+        raw = os.environ.get(SWEEP_BACKOFF_ENV)
+        if raw:
+            try:
+                changes["backoff_base_s"] = float(raw)
+            except ValueError:
+                pass
+        return SweepSupervision(**changes)  # type: ignore[arg-type]
+
+
 @dataclass(frozen=True)
 class GpuConfig:
     """Complete configuration of the simulated GPU and its on-chip network."""

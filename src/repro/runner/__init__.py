@@ -8,19 +8,47 @@ Public surface::
                    config=cfg, params={"kind": "tpc", "iteration_count": n})
             for n in (1, 2, 3, 4, 5)]
     rows = run_jobs(jobs, workers=4, cache=ResultCache())
+
+Fault tolerance (``repro.runner.supervisor``) engages via keyword
+arguments on :func:`run_jobs` — per-job timeouts, bounded retries with
+deterministic backoff, crash isolation, journal checkpointing and
+resume::
+
+    rows = run_jobs(jobs, cache=ResultCache(), timeout_s=300, retries=2,
+                    strict=False, journal="sweep.jsonl", resume=True)
+
+and is drilled end-to-end by the chaos harness
+(:func:`repro.runner.chaos.run_chaos`, ``python -m repro chaos``).
 """
 
 from .bench import bench_engine
-from .cache import ResultCache, code_version
+from .cache import ResultCache, code_version, job_key
+from .chaos import ChaosReport, run_chaos
+from .journal import SweepJournal, load_journal
 from .runner import SimJob, execute, merge_telemetry, resolve, run_jobs
+from .supervisor import (
+    JobFailure,
+    SweepError,
+    SweepOutcome,
+    run_supervised,
+)
 
 __all__ = [
-    "SimJob",
+    "ChaosReport",
+    "JobFailure",
     "ResultCache",
+    "SimJob",
+    "SweepError",
+    "SweepJournal",
+    "SweepOutcome",
     "bench_engine",
     "code_version",
     "execute",
+    "job_key",
+    "load_journal",
     "merge_telemetry",
     "resolve",
+    "run_chaos",
     "run_jobs",
+    "run_supervised",
 ]

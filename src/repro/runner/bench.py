@@ -14,6 +14,10 @@ Two representative workloads are measured:
   (the paper's core experiment; dense contention phases).
 * ``fig9_sync`` — the Figure 9 synchronised latency trace, whose idle
   guard slots between symbols are where fast-forward pays off most.
+
+The report also carries a ``"telemetry"`` section (tracing overhead) and
+a ``"supervision"`` section (fault-tolerant runner overhead on a clean
+sweep, legacy pool vs per-job supervision; must stay <5%).
 """
 
 from __future__ import annotations
@@ -103,6 +107,55 @@ def _bench_telemetry(config: GpuConfig, num_bits: int) -> Dict[str, Any]:
     }
 
 
+def _bench_supervision(config: GpuConfig, num_bits: int) -> Dict[str, Any]:
+    """Measure the supervised runner's overhead on a fault-free sweep.
+
+    Runs the same 4-job channel sweep through the legacy pool path and
+    the per-job supervision path (timeouts + retry machinery armed, no
+    faults injected), asserts the results are bit-identical, and reports
+    the wall-clock overhead — the price of crash isolation when nothing
+    crashes.  The acceptance bar is <5% on fault-free runs.
+    """
+    from ..config import SweepSupervision
+    from .runner import SimJob, run_jobs
+    from .supervisor import run_supervised
+
+    jobs = [
+        SimJob(
+            fn="repro.runner.workloads.channel_run",
+            config=config,
+            params={"kind": "tpc", "num_bits": num_bits, "seed": 7 + i},
+        )
+        for i in range(4)
+    ]
+    start = time.perf_counter()
+    legacy = run_jobs(jobs, workers=2, supervised=False)
+    legacy_s = time.perf_counter() - start
+    start = time.perf_counter()
+    outcome = run_supervised(
+        jobs, workers=2,
+        policy=SweepSupervision(timeout_s=600.0, max_attempts=3),
+    )
+    supervised_s = time.perf_counter() - start
+    assert not outcome.failures, (
+        "supervised fault-free sweep reported failures"
+    )
+    assert outcome.results == legacy, (
+        "supervised sweep diverged from the legacy pool path"
+    )
+    overhead = (
+        (supervised_s - legacy_s) / legacy_s if legacy_s > 0 else 0.0
+    )
+    return {
+        "workload": "channel_run x4",
+        "jobs": len(jobs),
+        "legacy_wall_s": round(legacy_s, 4),
+        "supervised_wall_s": round(supervised_s, 4),
+        "overhead_frac": round(overhead, 4),
+        "identical": True,
+    }
+
+
 def bench_engine(
     config: GpuConfig,
     num_bits: int = 24,
@@ -156,6 +209,7 @@ def bench_engine(
         report["workloads"][name] = entry
     report["min_speedup"] = round(min(speedups), 3)
     report["telemetry"] = _bench_telemetry(config, num_bits)
+    report["supervision"] = _bench_supervision(config, num_bits)
     if output is not None:
         path = Path(output)
         path.write_text(json.dumps(report, indent=2) + "\n",

@@ -18,8 +18,12 @@ The cache key is a SHA-256 over the canonical JSON encoding of:
 
 Entries are JSON files under ``<root>/<key[:2]>/<key>.json`` written
 atomically (temp file + ``os.replace``), so a crashed or parallel writer
-never leaves a torn entry.  The root defaults to ``.repro_cache`` in the
-working directory and can be overridden with ``$REPRO_CACHE_DIR``.
+never leaves a torn entry.  Every entry carries a content checksum of its
+result; an entry that fails to parse or verify on read is *quarantined*
+(moved to ``<root>/_quarantine/`` and recorded on the cache object) so
+torn or corrupted state is surfaced once instead of silently re-missed.
+The root defaults to ``.repro_cache`` in the working directory and can be
+overridden with ``$REPRO_CACHE_DIR``.
 """
 
 from __future__ import annotations
@@ -88,6 +92,38 @@ def canonical_json(value: Any) -> str:
     )
 
 
+def job_key(
+    fn: str,
+    config: Any,
+    params: Optional[Mapping[str, Any]] = None,
+    seed: Optional[int] = None,
+    version: Optional[str] = None,
+) -> str:
+    """Content-hash key for one simulation point.
+
+    This is the single keying scheme shared by :class:`ResultCache` and
+    the sweep journal (:mod:`repro.runner.journal`), so a journal written
+    against one cache replays against any other — the key depends only on
+    the point's inputs and the code version, never on where results are
+    stored.
+    """
+    payload = canonical_json(
+        {
+            "fn": fn,
+            "config": config,
+            "params": dict(params or {}),
+            "seed": seed,
+            "code_version": version or code_version(),
+        }
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def result_checksum(result: Any) -> str:
+    """Short content digest of a stored result (integrity check)."""
+    return hashlib.sha256(canonical_json(result).encode()).hexdigest()[:16]
+
+
 class ResultCache:
     """On-disk result cache keyed by content hash.
 
@@ -96,12 +132,20 @@ class ResultCache:
     cache hit and a fresh run are type-identical.
     """
 
+    #: Subdirectory (under the cache root) corrupt entries are moved to.
+    QUARANTINE_DIR = "_quarantine"
+
     def __init__(self, root: Union[str, Path, None] = None) -> None:
         if root is None:
             root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: Corrupt entries found by :meth:`get`, in discovery order:
+        #: ``{"key", "path", "reason"}`` dicts.  The supervisor folds
+        #: these into the sweep failure manifest so a poisoned cache is
+        #: surfaced, never silently re-missed.
+        self.quarantines: list = []
         #: Code version pinned at construction.  Forcing a refresh here
         #: (rather than trusting the module-level memo) means a cache
         #: built after an in-process source edit keys on the *current*
@@ -116,34 +160,75 @@ class ResultCache:
         seed: Optional[int] = None,
     ) -> str:
         """Cache key for one simulation point."""
-        payload = canonical_json(
-            {
-                "fn": fn,
-                "config": config,
-                "params": dict(params or {}),
-                "seed": seed,
-                "code_version": self.code_version,
-            }
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()
+        return job_key(fn, config, params, seed, version=self.code_version)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantined(self) -> int:
+        """Number of corrupt entries quarantined so far."""
+        return len(self.quarantines)
+
+    def _quarantine(self, key: str, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside and record it.
+
+        The entry is renamed into ``<root>/_quarantine/`` (numbered on
+        collision) so the evidence survives for post-mortem while the
+        slot becomes a clean miss that the next ``put`` repopulates.
+        """
+        target_dir = self.root / self.QUARANTINE_DIR
+        target_dir.mkdir(parents=True, exist_ok=True)
+        target = target_dir / path.name
+        counter = 0
+        while target.exists():
+            counter += 1
+            target = target_dir / f"{path.stem}.{counter}{path.suffix}"
+        try:
+            os.replace(path, target)
+        except OSError:
+            target = path  # unmovable: record in place, still a miss
+        self.quarantines.append(
+            {"key": key, "path": str(target), "reason": reason}
+        )
+
     def get(self, key: str) -> Optional[Any]:
         """Stored result for ``key``, or None.
 
-        Any unreadable entry — missing file, torn/partial JSON, or a
-        well-formed JSON document without a ``"result"`` key (e.g. a
-        foreign file dropped into the cache tree) — counts as a miss
-        rather than propagating an exception into a sweep.
+        A missing file is a plain miss.  A file that *exists* but cannot
+        be trusted — torn/partial JSON, a well-formed document without a
+        ``"result"`` key, or a result whose stored checksum no longer
+        matches its content — is **quarantined**: moved into
+        ``<root>/_quarantine/`` and recorded in :attr:`quarantines`, then
+        reported as a miss so the point is recomputed.  Corruption is
+        therefore surfaced exactly once instead of being silently
+        re-missed (or worse, silently replayed) on every sweep.
         """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
+        except OSError:
+            self.misses += 1
+            return None
+        except json.JSONDecodeError:
+            self._quarantine(key, path, "torn or non-JSON entry")
+            self.misses += 1
+            return None
+        try:
             result = entry["result"]
-        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+        except (KeyError, TypeError):
+            self._quarantine(key, path, "entry has no 'result' field")
+            self.misses += 1
+            return None
+        meta = entry.get("meta") if isinstance(entry, dict) else None
+        stored = meta.get("checksum") if isinstance(meta, dict) else None
+        if stored is not None and stored != result_checksum(result):
+            self._quarantine(
+                key, path,
+                f"checksum mismatch (stored {stored}, "
+                f"computed {result_checksum(result)})",
+            )
             self.misses += 1
             return None
         self.hits += 1
@@ -174,7 +259,11 @@ class ResultCache:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"result": result}
-        entry["meta"] = {"code_version": self.code_version, **(meta or {})}
+        entry["meta"] = {
+            "code_version": self.code_version,
+            "checksum": result_checksum(result),
+            **(meta or {}),
+        }
         encoded = json.dumps(entry, sort_keys=True)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
@@ -192,11 +281,12 @@ class ResultCache:
         return json.loads(encoded)["result"]
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every live entry (quarantined files are kept); returns
+        the number removed."""
         removed = 0
         if not self.root.exists():
             return removed
-        for path in self.root.glob("*/*.json"):
+        for path in self.root.glob("??/*.json"):
             try:
                 path.unlink()
                 removed += 1

@@ -24,7 +24,9 @@ import importlib
 import json
 import multiprocessing
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any, Callable, Dict, List, Optional, Sequence, Tuple, Union,
+)
 
 from ..config import GpuConfig
 from ..sim.stats import Sampler
@@ -136,14 +138,79 @@ def run_jobs(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    *,
+    timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+    policy: Optional["SweepSupervision"] = None,
+    strict: bool = True,
+    journal: Union[str, "Path", "SweepJournal", None] = None,
+    resume: bool = False,
+    supervised: Optional[bool] = None,
 ) -> List[Any]:
     """Run every job, in parallel where possible; results in job order.
 
     ``workers=None`` picks ``min(len(jobs), cpu_count)``; ``workers<=1``
     runs inline (no pool, trivially debuggable).  With a ``cache``, hits
-    are served from disk and only misses are executed (and then stored).
-    ``progress(done, total)`` is invoked after each job completes.
+    are served from disk and misses are stored *write-through* — each
+    result is persisted the moment it arrives, so a crash mid-sweep
+    keeps every completed point.  ``progress(done, total)`` is invoked
+    after each job completes.
+
+    Fault tolerance (``repro.runner.supervisor``) engages when any of
+    ``timeout_s`` / ``retries`` / ``policy`` / ``journal`` / ``resume``
+    is given, when ``strict=False``, or explicitly via
+    ``supervised=True``: each job then runs in its own supervised worker
+    with per-job timeouts, bounded retries with deterministic backoff,
+    and crash isolation.  ``retries`` counts *extra* attempts
+    (``retries=2`` means up to 3 attempts).  With ``strict=True`` (the
+    default) a sweep that still has failed jobs after retries raises
+    :class:`~repro.runner.supervisor.SweepError` — but only after every
+    healthy job has completed and been checkpointed.  With
+    ``strict=False`` failed slots hold structured
+    :class:`~repro.runner.supervisor.JobFailure` records instead.
+
+    ``journal`` (a path or :class:`~repro.runner.journal.SweepJournal`)
+    checkpoints completed points to an append-only JSONL file;
+    ``resume=True`` replays points a previous run already completed and
+    executes only the remainder.
     """
+    if supervised is None:
+        supervised = (
+            timeout_s is not None or retries is not None
+            or policy is not None or journal is not None
+            or resume or not strict
+        )
+
+    if supervised:
+        from ..config import SweepSupervision
+        from .journal import SweepJournal
+        from .supervisor import SweepError, run_supervised
+
+        if policy is None:
+            policy = SweepSupervision.from_env()
+        if timeout_s is not None:
+            policy = policy.replace(timeout_s=timeout_s)
+        if retries is not None:
+            policy = policy.replace(max_attempts=retries + 1)
+        journal_obj: Optional[SweepJournal]
+        owns_journal = False
+        if journal is None or isinstance(journal, SweepJournal):
+            journal_obj = journal
+        else:
+            journal_obj = SweepJournal(journal)
+            owns_journal = True
+        try:
+            outcome = run_supervised(
+                jobs, workers=workers, cache=cache, progress=progress,
+                policy=policy, journal=journal_obj, resume=resume,
+            )
+        finally:
+            if owns_journal:
+                journal_obj.close()
+        if strict and outcome.failures:
+            raise SweepError(outcome.failures, outcome.results)
+        return outcome.results
+
     total = len(jobs)
     results: List[Any] = [None] * total
     done = 0
@@ -171,23 +238,36 @@ def run_jobs(
     if not pending:
         return results
 
+    def complete(index: int, result: Any) -> None:
+        # Write-through: persist each result as it arrives so a crash
+        # later in the sweep never discards completed work.
+        nonlocal done
+        if cache is not None:
+            result = cache.put(keys[index], result)
+        results[index] = result
+        done += 1
+        report()
+
     if workers is None:
         workers = min(len(pending), multiprocessing.cpu_count())
 
     if workers <= 1 or len(pending) == 1:
         for index, job in pending:
-            results[index] = execute(job)
-            done += 1
-            report()
+            complete(index, execute(job))
     else:
-        with multiprocessing.Pool(processes=workers) as pool:
+        pool = multiprocessing.Pool(processes=workers)
+        try:
             for index, result in pool.imap_unordered(_pool_entry, pending):
-                results[index] = result
-                done += 1
-                report()
-
-    if cache is not None:
-        for index, job in pending:
-            results[index] = cache.put(keys[index], results[index])
+                complete(index, result)
+        except BaseException:
+            # Deterministic teardown: a KeyboardInterrupt mid-iteration
+            # or an exception escaping progress() must not leak live
+            # workers or hang in Pool.__del__.
+            pool.terminate()
+            pool.join()
+            raise
+        else:
+            pool.close()
+            pool.join()
 
     return results

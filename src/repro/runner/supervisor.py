@@ -1,0 +1,468 @@
+"""Supervised, fault-tolerant sweep execution.
+
+The legacy ``Pool.imap_unordered`` path in :func:`repro.runner.run_jobs`
+treats the sweep as an all-or-nothing batch: one worker exception aborts
+every sibling, a hung worker stalls the pool forever, and a crash
+(segfault, OOM kill, ``os._exit``) tears the pool down mid-flight.  This
+module replaces it with *per-job supervision*, the way a job scheduler
+babysits training runs:
+
+* **One process per attempt.**  Each job attempt runs in its own worker
+  process that reports back over a pipe.  A worker that dies without
+  reporting — killed, segfaulted, ``os._exit`` — is detected by pipe EOF
+  and its exit code, and harms nobody else.
+* **Wall-clock timeouts.**  A worker that has not reported within
+  ``policy.timeout_s`` is terminated (SIGTERM, then SIGKILL) and the job
+  is rescheduled.
+* **Bounded retries with deterministic backoff.**  Failed attempts are
+  re-queued up to ``policy.max_attempts`` with exponential backoff whose
+  jitter derives from the job's content-hash key and attempt number —
+  replaying a sweep schedules retries identically, no wall-clock entropy.
+* **Graceful degradation.**  A job whose attempts are exhausted becomes a
+  structured :class:`JobFailure` *in the results list*; healthy jobs
+  complete normally and the sweep returns a full failure manifest.
+  Callers that want the old semantics opt into strict mode
+  (``run_jobs(..., strict=True)`` raises :class:`SweepError` at the end,
+  after every healthy job has finished and been checkpointed).
+* **Durable progress.**  With a :class:`~repro.runner.journal.SweepJournal`
+  attached, every completed point is checkpointed as it arrives (and
+  cache puts are write-through), so a crash or Ctrl-C costs only the
+  points that were literally in flight.
+
+The supervision state machine per job::
+
+    QUEUED -> RUNNING -> done        (worker reported a result)
+                      -> exception   -\\
+                      -> timeout      }-> retry (backoff) or JobFailure
+                      -> worker-death -/
+"""
+
+from __future__ import annotations
+
+import collections
+import hashlib
+import heapq
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..config import SweepSupervision
+from .cache import ResultCache, job_key
+from .journal import SweepJournal
+
+#: Failure kinds reported by the supervisor.
+FAILURE_KINDS = ("exception", "timeout", "worker-death")
+
+
+@dataclass
+class JobFailure:
+    """Structured record of a job whose attempts were all exhausted.
+
+    Appears *in place* of the job's result in the sweep results list (in
+    graceful mode), in the sweep journal, and in the failure manifest.
+    """
+
+    index: int
+    fn: str
+    key: str
+    #: Kind of the final failed attempt (one of :data:`FAILURE_KINDS`).
+    kind: str
+    message: str
+    attempts: int
+    #: Per-attempt records: ``{"attempt", "kind", "message", ...}``.
+    history: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "fn": self.fn,
+            "key": self.key,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+            "history": list(self.history),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JobFailure(job {self.index}, {self.kind} after "
+            f"{self.attempts} attempt(s): {self.message})"
+        )
+
+
+class SweepError(RuntimeError):
+    """Raised in strict mode when a sweep finishes with failed jobs.
+
+    Raised only *after* the sweep has run to completion — every healthy
+    job's result has been cached and journaled, so a strict failure is
+    still resumable.
+    """
+
+    def __init__(self, failures: Sequence[JobFailure],
+                 results: Sequence[Any]) -> None:
+        self.failures = list(failures)
+        self.results = list(results)
+        first = self.failures[0]
+        super().__init__(
+            f"{len(self.failures)} of {len(results)} sweep job(s) failed; "
+            f"first: {first.kind} on job {first.index} after "
+            f"{first.attempts} attempt(s): {first.message}"
+        )
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a supervised sweep produced.
+
+    ``results`` is in job order; failed slots hold :class:`JobFailure`
+    instances.  ``counters`` aggregates supervision events (attempts,
+    retries, per-kind failures, cache/journal replays) and is folded into
+    the telemetry-style :meth:`manifest`.
+    """
+
+    results: List[Any]
+    failures: List[JobFailure]
+    counters: Dict[str, int]
+    quarantines: List[Dict[str, Any]] = field(default_factory=list)
+    journal_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def manifest(self) -> Dict[str, Any]:
+        """JSON-ready supervision summary (the failure manifest)."""
+        return {
+            "jobs": len(self.results),
+            "ok": self.ok,
+            "counters": dict(self.counters),
+            "failures": [failure.to_dict() for failure in self.failures],
+            "quarantines": list(self.quarantines),
+            "journal": self.journal_path,
+        }
+
+
+def backoff_delay(policy: SweepSupervision, key: str, attempt: int) -> float:
+    """Backoff before retrying ``attempt`` (1-based) of the job ``key``.
+
+    Exponential in the attempt number, capped, with *deterministic*
+    jitter: the jitter fraction is read off a SHA-256 of the job key and
+    attempt, so two runs of the same sweep produce the same schedule
+    while distinct jobs still decorrelate (no thundering-herd retry).
+    """
+    delay = min(
+        policy.backoff_base_s * policy.backoff_factor ** (attempt - 1),
+        policy.backoff_max_s,
+    )
+    if policy.backoff_jitter:
+        digest = hashlib.sha256(f"{key}:{attempt}".encode()).digest()
+        fraction = int.from_bytes(digest[:4], "big") / 2 ** 32
+        delay *= 1.0 + policy.backoff_jitter * fraction
+    return delay
+
+
+def _attempt_main(conn, job) -> None:
+    """Worker-process entry: run one attempt, report over the pipe.
+
+    Catches ``BaseException`` so even ``SystemExit``/``KeyboardInterrupt``
+    raised by a workload come back as structured failures; only a death
+    that bypasses Python entirely (``os._exit``, signals, segfaults)
+    reaches the parent as a bare pipe EOF.
+    """
+    from .runner import execute
+
+    try:
+        result = execute(job)
+        message = ("ok", result)
+    except BaseException as exc:  # noqa: BLE001 - crash isolation boundary
+        message = (
+            "error",
+            type(exc).__name__,
+            str(exc),
+            traceback.format_exc(),
+        )
+    try:
+        conn.send(message)
+    finally:
+        conn.close()
+
+
+def _kill(process) -> None:
+    """Terminate a worker process, escalating to SIGKILL if needed."""
+    if not process.is_alive():
+        process.join()
+        return
+    process.terminate()
+    process.join(0.5)
+    if process.is_alive():
+        process.kill()
+        process.join(0.5)
+
+
+@dataclass
+class _Attempt:
+    """One in-flight worker process."""
+
+    index: int
+    job: Any
+    key: str
+    attempt: int
+    history: List[Dict[str, Any]]
+    process: Any
+    conn: Any
+    started: float
+    deadline: Optional[float]
+
+
+def run_supervised(
+    jobs: Sequence[Any],
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    *,
+    policy: Optional[SweepSupervision] = None,
+    journal: Optional[SweepJournal] = None,
+    resume: bool = False,
+    mp_context=None,
+) -> SweepOutcome:
+    """Run a sweep under per-job supervision; never aborts on one job.
+
+    Results come back in job order; a job whose attempts are exhausted
+    yields a :class:`JobFailure` in its slot (callers wanting a raise use
+    :func:`repro.runner.run_jobs` with ``strict=True``).  With a
+    ``journal``, completed points are checkpointed as they arrive and —
+    with ``resume=True`` — points already completed by a previous run are
+    replayed without execution.  Cache puts are write-through.  On
+    ``KeyboardInterrupt`` (or any other escaping exception, including one
+    raised by ``progress``) every in-flight worker is killed and the
+    journal is flushed before the exception propagates.
+    """
+    policy = policy or SweepSupervision.from_env()
+    total = len(jobs)
+    results: List[Any] = [None] * total
+    failures: Dict[int, JobFailure] = {}
+    counters: collections.Counter = collections.Counter()
+    done = 0
+
+    def report() -> None:
+        if progress is not None:
+            progress(done, total)
+
+    version = cache.code_version if cache is not None else None
+    keys = [
+        job_key(job.fn, job.resolved_config(), job.params, version=version)
+        for job in jobs
+    ]
+
+    quarantine_base = cache.quarantined if cache is not None else 0
+
+    replayed: Dict[str, Any] = {}
+    if journal is not None and resume:
+        replayed = journal.completed()
+
+    pending: List[int] = []
+    for index in range(total):
+        key = keys[index]
+        if key in replayed:
+            results[index] = replayed[key]
+            counters["journal_replays"] += 1
+            done += 1
+            report()
+            continue
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                results[index] = hit
+                counters["cache_hits"] += 1
+                done += 1
+                report()
+                continue
+        pending.append(index)
+
+    if journal is not None:
+        journal.record_begin(
+            total,
+            meta={
+                "pending": len(pending),
+                "replayed": counters["journal_replays"],
+                "resume": resume,
+            },
+        )
+
+    def finish_success(attempt: _Attempt, result: Any) -> None:
+        nonlocal done
+        if cache is not None:
+            result = cache.put(attempt.key, result)
+        results[attempt.index] = result
+        done += 1
+        if journal is not None:
+            journal.record_result(attempt.key, attempt.index, result)
+        report()
+
+    if pending:
+        if workers is None:
+            workers = min(len(pending), multiprocessing.cpu_count())
+        workers = max(1, workers)
+        ctx = mp_context or multiprocessing.get_context()
+
+        queue: collections.deque = collections.deque(
+            (index, 1, []) for index in pending
+        )
+        waiting: List = []  # heap of (ready_time, seq, queue entry)
+        inflight: Dict[Any, _Attempt] = {}
+        sequence = itertools.count()
+
+        def finish_failure(attempt: _Attempt, kind: str,
+                           message: str, detail: str = "") -> None:
+            nonlocal done
+            counters[f"failures_{kind.replace('-', '_')}"] += 1
+            record = {
+                "attempt": attempt.attempt,
+                "kind": kind,
+                "message": message,
+                "elapsed_s": round(time.monotonic() - attempt.started, 4),
+            }
+            if detail:
+                record["detail"] = detail
+            attempt.history.append(record)
+            if attempt.attempt < policy.max_attempts:
+                counters["retries"] += 1
+                ready = time.monotonic() + backoff_delay(
+                    policy, attempt.key, attempt.attempt
+                )
+                heapq.heappush(waiting, (
+                    ready, next(sequence),
+                    (attempt.index, attempt.attempt + 1, attempt.history),
+                ))
+                return
+            failure = JobFailure(
+                index=attempt.index,
+                fn=attempt.job.fn,
+                key=attempt.key,
+                kind=kind,
+                message=message,
+                attempts=attempt.attempt,
+                history=attempt.history,
+            )
+            failures[attempt.index] = failure
+            results[attempt.index] = failure
+            done += 1
+            if journal is not None:
+                journal.record_failure(
+                    failure.key, failure.index, failure.to_dict()
+                )
+            report()
+
+        def launch(index: int, attempt_no: int,
+                   history: List[Dict[str, Any]]) -> None:
+            job = jobs[index]
+            recv_conn, send_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_attempt_main, args=(send_conn, job), daemon=True
+            )
+            process.start()
+            send_conn.close()
+            now = time.monotonic()
+            deadline = (
+                now + policy.timeout_s if policy.timeout_s is not None
+                else None
+            )
+            inflight[recv_conn] = _Attempt(
+                index=index, job=job, key=keys[index], attempt=attempt_no,
+                history=history, process=process, conn=recv_conn,
+                started=now, deadline=deadline,
+            )
+            counters["attempts"] += 1
+
+        try:
+            while queue or waiting or inflight:
+                now = time.monotonic()
+                while waiting and waiting[0][0] <= now:
+                    _, _, entry = heapq.heappop(waiting)
+                    queue.append(entry)
+                while queue and len(inflight) < workers:
+                    launch(*queue.popleft())
+                if not inflight:
+                    if waiting:
+                        pause = waiting[0][0] - time.monotonic()
+                        if pause > 0:
+                            time.sleep(min(pause, 0.05))
+                    continue
+
+                timeout = 0.05
+                deadlines = [
+                    attempt.deadline for attempt in inflight.values()
+                    if attempt.deadline is not None
+                ]
+                if deadlines:
+                    timeout = min(timeout, max(0.0, min(deadlines) - now))
+                if waiting:
+                    timeout = min(timeout, max(0.0, waiting[0][0] - now))
+                ready = multiprocessing.connection.wait(
+                    list(inflight), timeout=timeout
+                )
+
+                for conn in ready:
+                    attempt = inflight.pop(conn)
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                    conn.close()
+                    attempt.process.join(5)
+                    if message is None:
+                        code = attempt.process.exitcode
+                        finish_failure(
+                            attempt, "worker-death",
+                            f"worker exited with code {code} before "
+                            f"reporting a result",
+                        )
+                    elif message[0] == "ok":
+                        finish_success(attempt, message[1])
+                    else:
+                        _, exc_type, exc_message, tb = message
+                        finish_failure(
+                            attempt, "exception",
+                            f"{exc_type}: {exc_message}", detail=tb,
+                        )
+
+                now = time.monotonic()
+                for conn, attempt in list(inflight.items()):
+                    if attempt.deadline is not None and now >= attempt.deadline:
+                        inflight.pop(conn)
+                        _kill(attempt.process)
+                        conn.close()
+                        finish_failure(
+                            attempt, "timeout",
+                            f"no result within {policy.timeout_s:g}s; "
+                            f"worker killed",
+                        )
+        except BaseException:
+            # Deterministic teardown: no orphan workers, no lost progress.
+            for attempt in inflight.values():
+                _kill(attempt.process)
+                attempt.conn.close()
+            inflight.clear()
+            if journal is not None:
+                journal.flush()
+            raise
+
+    if journal is not None:
+        journal.flush()
+
+    quarantines: List[Dict[str, Any]] = []
+    if cache is not None and cache.quarantined > quarantine_base:
+        quarantines = list(cache.quarantines[quarantine_base:])
+        counters["quarantined"] = len(quarantines)
+
+    return SweepOutcome(
+        results=results,
+        failures=[failures[index] for index in sorted(failures)],
+        counters=dict(counters),
+        quarantines=quarantines,
+        journal_path=str(journal.path) if journal is not None else None,
+    )

@@ -1,0 +1,117 @@
+"""Chaos harness: seeded fault injection against the supervised runner.
+
+The full drill (reference sweep, chaos sweep, resume, cache-corruption
+quarantine) runs here at a reduced budget — every timeout is well under
+a second and injected hangs are killed, not waited out.
+"""
+
+import pytest
+
+from repro.config import small_config
+from repro.runner import run_chaos
+from repro.runner.chaos import (
+    CHAOS_STATE_ENV,
+    FAULT_PLANS,
+    assign_faults,
+    attempts_recorded,
+    chaos_point,
+)
+
+
+class TestChaosPoint:
+    def test_ok_payload_is_attempt_independent(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CHAOS_STATE_ENV, str(tmp_path))
+        config = small_config()
+        first = chaos_point(config, token="t", plan="ok", value=3)
+        second = chaos_point(config, token="t", plan="ok", value=3)
+        assert first == second
+        assert attempts_recorded(tmp_path, "t") == 2
+
+    def test_plan_schedule_consumes_one_step_per_attempt(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(CHAOS_STATE_ENV, str(tmp_path))
+        config = small_config()
+        with pytest.raises(RuntimeError, match="attempt=1"):
+            chaos_point(config, token="x", plan="raise,ok")
+        result = chaos_point(config, token="x", plan="raise,ok", value=5)
+        assert result["value"] == 5
+
+    def test_last_step_repeats(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CHAOS_STATE_ENV, str(tmp_path))
+        config = small_config()
+        for attempt in range(3):
+            with pytest.raises(RuntimeError):
+                chaos_point(config, token="y", plan="raise")
+
+    def test_without_state_env_every_call_is_attempt_one(
+        self, monkeypatch
+    ):
+        monkeypatch.delenv(CHAOS_STATE_ENV, raising=False)
+        with pytest.raises(RuntimeError, match="attempt=1"):
+            chaos_point(small_config(), token="z", plan="raise,ok")
+
+
+class TestFaultAssignment:
+    def test_deterministic_and_one_per_kind(self):
+        kinds = tuple(FAULT_PLANS)
+        first = assign_faults(7, 32, kinds)
+        assert first == assign_faults(7, 32, kinds)
+        assert len(first) == len(kinds)
+        assert sorted(first.values()) == sorted(
+            FAULT_PLANS[kind] for kind in kinds
+        )
+
+    def test_seed_moves_the_faults(self):
+        kinds = tuple(FAULT_PLANS)
+        assert assign_faults(1, 32, kinds) != assign_faults(2, 32, kinds)
+
+    def test_more_kinds_than_jobs(self):
+        plans = assign_faults(0, 2, tuple(FAULT_PLANS))
+        assert len(plans) == 2
+
+
+class TestChaosDrill:
+    def test_full_drill_passes_at_reduced_budget(self, tmp_path):
+        report = run_chaos(
+            seed=3, num_jobs=10, timeout_s=0.3, backoff_s=0.01,
+            scratch=tmp_path / "scratch",
+        )
+        assert report.problems == []
+        assert report.ok
+        assert report.healthy_identical
+        assert report.recovered_identical
+        # All three hard-kill fault kinds actually fired.
+        assert report.counters["failures_exception"] >= 1
+        assert report.counters["failures_timeout"] >= 1
+        assert report.counters["failures_worker_death"] >= 1
+        # The fatal plans surfaced as structured failures...
+        assert [f["kind"] for f in report.failures]
+        assert report.expected_failures
+        # ...and resume re-executed exactly those.
+        tokens = [f"job{i:03d}" for i in report.resume["reexecuted"]]
+        assert tokens == report.expected_failures
+        assert report.resume["failures"] == 0
+        # Cache corruption was quarantined, not silently replayed.
+        assert report.quarantine["quarantined"] == 2
+
+    def test_single_kind_budget(self, tmp_path):
+        report = run_chaos(
+            seed=1, num_jobs=4, kinds=("transient-raise",),
+            timeout_s=0.3, backoff_s=0.01, scratch=tmp_path / "s",
+        )
+        assert report.ok
+        assert report.counters["failures_exception"] == 1
+        assert report.counters.get("failures_timeout", 0) == 0
+        assert report.failures == []
+
+    def test_report_round_trips_to_json(self, tmp_path):
+        import json
+
+        report = run_chaos(
+            seed=2, num_jobs=4, kinds=("transient-exit",),
+            timeout_s=0.3, backoff_s=0.01, scratch=tmp_path / "s",
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert payload["jobs"] == 4

@@ -104,6 +104,66 @@ class TestValidateFlag:
         assert "b'hi'" in out
 
 
+class TestChaosCommand:
+    def test_quick_drill_writes_manifest(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "chaos-manifest.json"
+        assert main(
+            ["chaos", "--quiet", "--jobs", "6", "--timeout", "0.3",
+             "--kind", "transient-raise", "--kind", "transient-exit",
+             "--manifest", str(manifest)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chaos drill: OK" in out
+        assert "quarantined" in out
+        payload = json.loads(manifest.read_text())
+        assert payload["ok"] is True
+        assert payload["jobs"] == 6
+        assert payload["counters"]["failures_exception"] >= 1
+        assert payload["counters"]["failures_worker_death"] >= 1
+
+    def test_unknown_kind_exits_two(self, capsys):
+        assert main(["chaos", "--kind", "meteor-strike"]) == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_quick_defaults(self):
+        args = build_parser().parse_args(["chaos", "--quick"])
+        assert args.quick and args.jobs is None and args.timeout is None
+
+
+class TestSweepSupervisionFlags:
+    @pytest.fixture(autouse=True)
+    def _isolated_dirs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path / "sweeps"))
+        self.tmp_path = tmp_path
+
+    def test_parser_accepts_supervision_flags(self):
+        args = build_parser().parse_args(
+            ["fig10", "--timeout", "30", "--retries", "2",
+             "--keep-going", "--resume", "--journal", "x.jsonl"]
+        )
+        assert args.timeout == 30.0
+        assert args.retries == 2
+        assert args.keep_going and args.resume
+        assert args.journal == "x.jsonl"
+
+    def test_fig10_journal_then_resume_replays(self, capsys):
+        argv = ["fig10", "--iterations", "1", "--bits", "4",
+                "--no-cache", "--retries", "0"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert (self.tmp_path / "sweeps" / "fig10-small.jsonl").is_file()
+
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resumed from" in second
+        assert "1 point(s) replayed" in second
+        # The replayed table is bit-identical to the executed one.
+        assert first.splitlines()[-4:] == second.splitlines()[-4:]
+
+
 class TestGoldenCommand:
     @pytest.fixture(autouse=True)
     def _isolated_dirs(self, tmp_path, monkeypatch):

@@ -1,0 +1,87 @@
+"""Sweep journal: append-only JSONL checkpoints and resume semantics."""
+
+import json
+
+from repro.runner import SweepJournal, load_journal
+
+
+class TestJournalWriting:
+    def test_lazy_open_touches_nothing(self, tmp_path):
+        journal = SweepJournal(tmp_path / "deep" / "sweep.jsonl")
+        assert not (tmp_path / "deep").exists()
+        journal.close()
+        assert not (tmp_path / "deep").exists()
+
+    def test_records_are_one_json_line_each(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record_begin(2, meta={"resume": False})
+            journal.record_result("k1", 0, {"x": 1})
+            journal.record_failure("k2", 1, {"kind": "timeout"})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        kinds = [json.loads(line)["kind"] for line in lines]
+        assert kinds == ["begin", "result", "failure"]
+        assert journal.written == 3
+
+    def test_appends_across_instances(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record_result("k1", 0, 11)
+        with SweepJournal(path) as journal:
+            journal.record_result("k2", 1, 22)
+        state = load_journal(path)
+        assert state.results == {"k1": 11, "k2": 22}
+
+
+class TestJournalLoading:
+    def test_missing_file_is_empty_state(self, tmp_path):
+        state = load_journal(tmp_path / "nope.jsonl")
+        assert state.results == {}
+        assert state.failures == {}
+        assert state.records == 0
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record_result("k1", 0, {"x": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "result", "key": "k2", "resu')  # crash
+        state = load_journal(path)
+        assert state.results == {"k1": {"x": 1}}
+        assert state.torn == 1
+
+    def test_last_record_wins_per_key(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record_failure("k1", 0, {"kind": "timeout"})
+            journal.record_result("k1", 0, {"x": 2})   # retry succeeded
+            journal.record_result("k2", 1, {"x": 3})
+            journal.record_failure("k2", 1, {"kind": "exception"})
+        state = load_journal(path)
+        assert state.results == {"k1": {"x": 2}}
+        assert state.failures == {"k2": {"kind": "exception"}}
+
+    def test_completed_skips_failures(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record_result("good", 0, 1)
+            journal.record_failure("bad", 1, {"kind": "exception"})
+        assert SweepJournal(path).completed() == {"good": 1}
+
+    def test_non_object_lines_count_as_torn(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        path.write_text('42\n{"kind": "result", "key": "k", "result": 5}\n')
+        state = load_journal(path)
+        assert state.torn == 1
+        assert state.results == {"k": 5}
+
+
+class TestDefaultPath:
+    def test_env_override(self, tmp_path, monkeypatch):
+        from repro.runner.journal import default_journal_path
+
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path / "j"))
+        assert default_journal_path("fig10-small") == (
+            tmp_path / "j" / "fig10-small.jsonl"
+        )

@@ -157,6 +157,151 @@ class TestCacheEntryRobustness:
         assert cache.get(key) == {"x": 1}
 
 
+def flaky(config, explode=False):
+    """Workload that raises when asked (for mid-sweep crash tests)."""
+    if explode:
+        raise RuntimeError("boom")
+    return {"seed": config.seed}
+
+
+FLAKY = f"{__name__}.flaky"
+
+
+class TestWriteThroughCache:
+    """Regression: cache puts used to happen only after the whole sweep
+    finished, so a crash mid-sweep discarded every completed miss."""
+
+    def test_inline_crash_keeps_completed_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = small_config()
+        jobs = [
+            SimJob(fn=FLAKY, config=config, seed=1),
+            SimJob(fn=FLAKY, config=config, seed=2,
+                   params={"explode": True}),
+        ]
+        with pytest.raises(RuntimeError, match="boom"):
+            run_jobs(jobs, workers=1, cache=cache)
+        # Job 0 completed before the crash and must be on disk.
+        key = cache.key(FLAKY, config.replace(seed=1), {})
+        assert cache.get(key) == {"seed": 1}
+
+    def test_pool_crash_keeps_completed_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = small_config()
+        jobs = [SimJob(fn=FLAKY, config=config, seed=seed)
+                for seed in (1, 2, 3)]
+
+        def explode_after_first(done, total):
+            if done == 1:
+                raise RuntimeError("observer crash")
+
+        with pytest.raises(RuntimeError, match="observer crash"):
+            run_jobs(jobs, workers=2, cache=cache,
+                     progress=explode_after_first)
+        hits = sum(
+            cache.get(cache.key(FLAKY, config.replace(seed=s), {}))
+            is not None
+            for s in (1, 2, 3)
+        )
+        assert hits >= 1
+
+    def test_progress_crash_tears_the_pool_down(self, tmp_path):
+        import multiprocessing
+
+        config = small_config()
+        jobs = [SimJob(fn=FLAKY, config=config, seed=seed)
+                for seed in range(1, 5)]
+
+        def explode(done, total):
+            raise RuntimeError("observer crash")
+
+        with pytest.raises(RuntimeError, match="observer crash"):
+            run_jobs(jobs, workers=2, progress=explode)
+        assert multiprocessing.active_children() == []
+
+
+class TestQuarantine:
+    """Corrupt cache entries are moved aside and surfaced, not silently
+    re-missed (or worse, replayed)."""
+
+    def _put(self, cache):
+        key = cache.key(DOUBLE, small_config(), {}, seed=1)
+        cache.put(key, {"x": 1})
+        return key
+
+    def test_checksum_mismatch_quarantines(self, tmp_path):
+        import json as _json
+
+        cache = ResultCache(tmp_path)
+        key = self._put(cache)
+        path = cache._path(key)
+        entry = _json.loads(path.read_text())
+        entry["result"]["x"] = 999  # bit-rot
+        path.write_text(_json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        record = cache.quarantines[0]
+        assert record["key"] == key
+        assert "checksum mismatch" in record["reason"]
+        assert (tmp_path / "_quarantine").is_dir()
+
+    def test_torn_json_quarantines(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self._put(cache)
+        cache._path(key).write_text("{torn")
+        assert cache.get(key) is None
+        assert cache.quarantined == 1
+        assert "torn" in cache.quarantines[0]["reason"]
+
+    def test_missing_file_is_a_plain_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.quarantined == 0
+
+    def test_quarantined_slot_is_repopulatable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self._put(cache)
+        cache._path(key).write_text("{torn")
+        assert cache.get(key) is None
+        cache.put(key, {"x": 2})
+        assert cache.get(key) == {"x": 2}
+        # The quarantined evidence file survives a clear().
+        assert cache.clear() == 1
+        assert list((tmp_path / "_quarantine").glob("*.json"))
+
+    def test_legacy_entry_without_checksum_still_hits(self, tmp_path):
+        import json as _json
+
+        cache = ResultCache(tmp_path)
+        key = cache.key(DOUBLE, small_config(), {}, seed=1)
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps({"result": {"x": 5}, "meta": {}}))
+        assert cache.get(key) == {"x": 5}
+        assert cache.quarantined == 0
+
+    def test_quarantine_names_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = self._put(cache)
+        for _ in range(2):
+            cache._path(key).write_text("{torn")
+            assert cache.get(key) is None
+        assert cache.quarantined == 2
+        assert len(list((tmp_path / "_quarantine").glob("*.json"))) == 2
+
+
+class TestJobKey:
+    def test_matches_cache_key(self, tmp_path):
+        from repro.runner import job_key
+
+        cache = ResultCache(tmp_path)
+        config = small_config()
+        assert job_key(DOUBLE, config, {"factor": 2}) == cache.key(
+            DOUBLE, config, {"factor": 2}
+        )
+
+
 class TestCodeVersionRefresh:
     """Regressions for the memoised code_version going stale in-process."""
 

@@ -1,0 +1,312 @@
+"""Supervised sweep execution: the failure taxonomy, end to end.
+
+Every test is seeded and deterministic; fault schedules come from the
+chaos workload's on-disk attempt ledger, timeouts are tens of
+milliseconds, and backoff jitter is content-hash derived — no wall-clock
+entropy anywhere.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.config import SweepSupervision, small_config
+from repro.runner import (
+    JobFailure,
+    ResultCache,
+    SimJob,
+    SweepError,
+    SweepJournal,
+    run_jobs,
+    run_supervised,
+)
+from repro.runner.chaos import CHAOS_FN, CHAOS_STATE_ENV, attempts_recorded
+from repro.runner.supervisor import backoff_delay
+
+
+def double(config, factor=2):
+    """Trivial healthy workload (picklable by dotted path)."""
+    return {"seed": config.seed, "value": config.seed * factor}
+
+
+DOUBLE = f"{__name__}.double"
+
+#: Fast test policy: tiny backoff, no timeout unless a test sets one.
+FAST = SweepSupervision(backoff_base_s=0.01, backoff_max_s=0.04)
+
+
+def chaos_job(token, plan, value=1, hang_s=5.0):
+    return SimJob(
+        fn=CHAOS_FN,
+        config=small_config(),
+        params={"token": token, "plan": plan, "value": value,
+                "hang_s": hang_s},
+    )
+
+
+@pytest.fixture
+def chaos_state(tmp_path, monkeypatch):
+    state = tmp_path / "chaos-state"
+    monkeypatch.setenv(CHAOS_STATE_ENV, str(state))
+    return state
+
+
+class TestHealthySweeps:
+    def _jobs(self, count=4):
+        config = small_config()
+        return [SimJob(fn=DOUBLE, config=config, seed=seed)
+                for seed in range(1, count + 1)]
+
+    def test_matches_legacy_results_in_job_order(self):
+        jobs = self._jobs(5)
+        legacy = run_jobs(jobs, workers=2, supervised=False)
+        outcome = run_supervised(jobs, workers=2, policy=FAST)
+        assert outcome.results == legacy
+        assert outcome.ok
+        assert outcome.counters["attempts"] == 5
+
+    def test_progress_sees_every_completion(self):
+        seen = []
+        run_supervised(
+            self._jobs(3), workers=1, policy=FAST,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_empty_sweep(self):
+        outcome = run_supervised([], policy=FAST)
+        assert outcome.results == []
+        assert outcome.ok
+
+    def test_write_through_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = self._jobs(3)
+        first = run_supervised(jobs, workers=1, cache=cache, policy=FAST)
+        assert cache.misses == 3
+        second = run_supervised(jobs, workers=1, cache=cache, policy=FAST)
+        assert cache.hits == 3
+        assert second.results == first.results
+        assert second.counters["cache_hits"] == 3
+        assert second.counters.get("attempts", 0) == 0
+
+
+class TestTimeoutKillRetry:
+    def test_hung_worker_is_killed_and_retry_succeeds(self, chaos_state):
+        job = chaos_job("hangs", "hang,ok", value=7)
+        policy = FAST.replace(timeout_s=0.1, max_attempts=2)
+        start = time.monotonic()
+        outcome = run_supervised([job], workers=1, policy=policy)
+        elapsed = time.monotonic() - start
+        assert outcome.ok
+        assert outcome.results[0]["value"] == 7
+        assert outcome.counters["failures_timeout"] == 1
+        assert outcome.counters["retries"] == 1
+        assert outcome.counters["attempts"] == 2
+        # The 5s injected hang must not be waited out.
+        assert elapsed < 3.0
+        assert attempts_recorded(chaos_state, "hangs") == 2
+
+    def test_permanent_hang_exhausts_attempts(self, chaos_state):
+        job = chaos_job("wedged", "hang")
+        policy = FAST.replace(timeout_s=0.05, max_attempts=2)
+        outcome = run_supervised([job], workers=1, policy=policy)
+        assert not outcome.ok
+        failure = outcome.results[0]
+        assert isinstance(failure, JobFailure)
+        assert failure.kind == "timeout"
+        assert failure.attempts == 2
+        assert len(failure.history) == 2
+
+    def test_no_leaked_workers_after_kills(self, chaos_state):
+        job = chaos_job("wedged2", "hang")
+        policy = FAST.replace(timeout_s=0.05, max_attempts=2)
+        run_supervised([job], workers=1, policy=policy)
+        assert multiprocessing.active_children() == []
+
+
+class TestCrashIsolation:
+    def test_worker_death_is_contained_and_retried(self, chaos_state):
+        jobs = [chaos_job("dies", "exit,ok", value=3),
+                chaos_job("fine", "ok", value=4)]
+        outcome = run_supervised(jobs, workers=2, policy=FAST)
+        assert outcome.ok
+        assert outcome.results[0]["value"] == 3
+        assert outcome.results[1]["value"] == 4
+        assert outcome.counters["failures_worker_death"] == 1
+
+    def test_exception_yields_structured_failure_not_abort(
+        self, chaos_state
+    ):
+        jobs = [chaos_job("boom", "raise"), chaos_job("ok1", "ok", value=9)]
+        policy = FAST.replace(max_attempts=3)
+        outcome = run_supervised(jobs, workers=2, policy=policy)
+        failure = outcome.results[0]
+        assert isinstance(failure, JobFailure)
+        assert failure.kind == "exception"
+        assert "chaos: injected exception" in failure.message
+        assert failure.attempts == 3
+        # Sibling job unharmed.
+        assert outcome.results[1]["value"] == 9
+        assert outcome.failures == [failure]
+        # History records every attempt with a traceback detail.
+        assert [h["attempt"] for h in failure.history] == [1, 2, 3]
+        assert all("RuntimeError" in h["detail"] for h in failure.history)
+
+    def test_failure_manifest_shape(self, chaos_state):
+        jobs = [chaos_job("boom2", "raise")]
+        outcome = run_supervised(
+            jobs, workers=1, policy=FAST.replace(max_attempts=1)
+        )
+        manifest = outcome.manifest()
+        assert manifest["ok"] is False
+        assert manifest["jobs"] == 1
+        (entry,) = manifest["failures"]
+        assert entry["kind"] == "exception"
+        assert entry["key"] == outcome.failures[0].key
+
+
+class TestStrictMode:
+    def test_run_jobs_strict_raises_after_completion(
+        self, chaos_state, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        jobs = [chaos_job("sick", "raise"), chaos_job("well", "ok", value=5)]
+        with pytest.raises(SweepError) as excinfo:
+            run_jobs(jobs, workers=2, cache=cache, retries=0,
+                     policy=FAST, strict=True)
+        error = excinfo.value
+        assert len(error.failures) == 1
+        assert error.failures[0].index == 0
+        # The healthy sibling completed and was cached before the raise.
+        assert error.results[1]["value"] == 5
+        key = cache.key(jobs[1].fn, jobs[1].resolved_config(),
+                        jobs[1].params)
+        stored = cache.get(key)
+        assert stored["token"] == "well"
+        assert stored["value"] == 5
+
+    def test_run_jobs_graceful_returns_failures_inline(self, chaos_state):
+        jobs = [chaos_job("sick2", "raise"), chaos_job("well2", "ok")]
+        results = run_jobs(jobs, workers=2, retries=0, policy=FAST,
+                           strict=False)
+        assert isinstance(results[0], JobFailure)
+        assert results[1]["token"] == "well2"
+
+    def test_run_jobs_defaults_to_legacy_path(self):
+        # No supervision kwargs -> the bare pool path (exceptions
+        # propagate raw, as before this module existed).
+        jobs = [SimJob(fn=DOUBLE, config=small_config(), seed=1)]
+        assert run_jobs(jobs, workers=1)[0]["value"] == 2
+
+
+class TestBackoff:
+    def test_deterministic_and_bounded(self):
+        policy = SweepSupervision(
+            backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=0.5,
+            backoff_jitter=0.25,
+        )
+        first = backoff_delay(policy, "deadbeef", 1)
+        assert first == backoff_delay(policy, "deadbeef", 1)
+        assert 0.1 <= first <= 0.1 * 1.25
+        # Exponential growth, capped.
+        assert backoff_delay(policy, "deadbeef", 4) <= 0.5 * 1.25
+        # Distinct jobs decorrelate.
+        assert backoff_delay(policy, "deadbeef", 1) != backoff_delay(
+            policy, "cafebabe", 1
+        )
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = SweepSupervision(
+            backoff_base_s=0.1, backoff_factor=3.0, backoff_max_s=10.0,
+            backoff_jitter=0.0,
+        )
+        assert backoff_delay(policy, "k", 1) == pytest.approx(0.1)
+        assert backoff_delay(policy, "k", 2) == pytest.approx(0.3)
+        assert backoff_delay(policy, "k", 3) == pytest.approx(0.9)
+
+
+class TestPolicyKnobs:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepSupervision(timeout_s=0)
+        with pytest.raises(ValueError):
+            SweepSupervision(max_attempts=0)
+        with pytest.raises(ValueError):
+            SweepSupervision(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            SweepSupervision(backoff_jitter=2.0)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT_S", "12.5")
+        monkeypatch.setenv("REPRO_SWEEP_ATTEMPTS", "5")
+        monkeypatch.setenv("REPRO_SWEEP_BACKOFF_S", "0.25")
+        policy = SweepSupervision.from_env()
+        assert policy.timeout_s == 12.5
+        assert policy.max_attempts == 5
+        assert policy.backoff_base_s == 0.25
+
+    def test_from_env_ignores_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT_S", "soon")
+        policy = SweepSupervision.from_env()
+        assert policy.timeout_s is None
+
+    def test_run_jobs_timeout_and_retries_build_policy(self, chaos_state):
+        # retries=1 -> 2 attempts: "raise,ok" recovers.
+        jobs = [chaos_job("flaky", "raise,ok", value=2)]
+        results = run_jobs(jobs, workers=1, retries=1, policy=FAST)
+        assert results[0]["value"] == 2
+
+
+class TestTeardown:
+    def test_progress_exception_kills_inflight_and_flushes_journal(
+        self, chaos_state, tmp_path
+    ):
+        journal = SweepJournal(tmp_path / "sweep.jsonl")
+        jobs = [chaos_job(f"t{i}", "ok", value=i + 1) for i in range(3)]
+
+        calls = []
+
+        def progress(done, total):
+            calls.append(done)
+            if done == 2:
+                raise RuntimeError("observer crashed")
+
+        with pytest.raises(RuntimeError, match="observer crashed"):
+            run_supervised(jobs, workers=1, policy=FAST,
+                           progress=progress, journal=journal)
+        assert multiprocessing.active_children() == []
+        # The journal kept everything completed before the crash.
+        state = journal.load()
+        assert len(state.results) == 2
+
+    def test_resume_after_partial_journal(self, chaos_state, tmp_path):
+        journal_path = tmp_path / "sweep.jsonl"
+        jobs = [chaos_job(f"r{i}", "ok", value=i + 1) for i in range(4)]
+
+        def explode_late(done, total):
+            if done == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_supervised(jobs, workers=1, policy=FAST,
+                           progress=explode_late,
+                           journal=SweepJournal(journal_path))
+        executed_before = [
+            attempts_recorded(chaos_state, f"r{i}") for i in range(4)
+        ]
+        assert sum(executed_before) == 2
+
+        outcome = run_supervised(
+            jobs, workers=1, policy=FAST,
+            journal=SweepJournal(journal_path), resume=True,
+        )
+        assert outcome.ok
+        assert [r["value"] for r in outcome.results] == [1, 2, 3, 4]
+        assert outcome.counters["journal_replays"] == 2
+        # Only the two missing points executed on resume.
+        executed_after = [
+            attempts_recorded(chaos_state, f"r{i}") for i in range(4)
+        ]
+        assert sum(executed_after) == 4
+        assert executed_after[:2] == executed_before[:2]
