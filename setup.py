@@ -12,5 +12,6 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
-    install_requires=["numpy"],
+    install_requires=[],
+    extras_require={"vector": ["numpy"]},
 )

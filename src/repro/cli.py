@@ -45,6 +45,7 @@ from .config import (
     PASCAL_P100,
     TURING_TU104,
     VOLTA_V100,
+    large_config,
     medium_config,
     small_config,
 )
@@ -53,9 +54,16 @@ SCALES = {
     "small": small_config,
     "medium": medium_config,
     "volta": lambda: VOLTA_V100,
+    "large": large_config,
     "pascal": lambda: PASCAL_P100,
     "turing": lambda: TURING_TU104,
 }
+
+#: Per-command default for ``--scale`` when the user does not pass one.
+#: ``bench`` defaults to the full Table-1 Volta — the engine comparison
+#: is only meaningful at the scale the vector strategy targets.
+DEFAULT_SCALE = "small"
+COMMAND_SCALES = {"bench": "volta"}
 
 
 def _config(args) -> GpuConfig:
@@ -315,12 +323,29 @@ def cmd_bench(args) -> int:
         output=None if args.no_output else args.output,
     )
     for name, entry in report["workloads"].items():
-        print(
+        line = (
             f"{name:12s} naive {entry['naive_wall_s']:7.3f}s  "
             f"active {entry['active_wall_s']:7.3f}s  "
             f"speedup {entry['speedup']:.2f}x"
         )
+        if "vector_wall_s" in entry:
+            line += (
+                f"  vector {entry['vector_wall_s']:7.3f}s "
+                f"({entry['vector_speedup_vs_active']:.2f}x vs active)"
+            )
+        print(line)
     print(f"min speedup: {report['min_speedup']:.2f}x")
+    vector = report.get("vector", {})
+    if vector.get("available"):
+        volta = vector["full_volta"]
+        print(
+            f"vector @ full Volta: "
+            f"active {volta['active_cycles_per_s']:,.0f} cycles/s, "
+            f"vector {volta['vector_cycles_per_s']:,.0f} cycles/s "
+            f"({volta['speedup_vs_active']:.2f}x)"
+        )
+    elif vector:
+        print(f"vector: unavailable ({vector['error']})")
     telemetry = report["telemetry"]
     print(
         f"telemetry    off {telemetry['disabled_wall_s']:7.3f}s  "
@@ -395,12 +420,15 @@ def cmd_fuzz(args) -> int:
         if not case.ok:
             print(f"     {case.failure}")
 
+    from .validate.oracle import DEFAULT_STRATEGIES
+
     outcome = fuzz(
         runs=runs,
         seed=args.seed,
         max_cycles=args.cycles,
         oracle=not args.no_oracle,
         on_case=report,
+        strategies=tuple(args.strategies or DEFAULT_STRATEGIES),
     )
     failed = len(outcome.failures)
     print(f"{len(outcome.cases)} case(s), {failed} failure(s)")
@@ -602,8 +630,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="GPU NoC covert channel (MICRO 2021) experiments",
     )
     parser.add_argument(
-        "--scale", choices=sorted(SCALES), default="small",
-        help="simulated GPU size (default: small)",
+        "--scale", choices=sorted(SCALES), default=None,
+        help="simulated GPU size (default: small; bench defaults to "
+             "volta; large is volta under the vector engine)",
     )
     parser.add_argument(
         "--validate", action="store_true",
@@ -712,7 +741,14 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--cycles", type=int, default=200_000,
                       help="per-case cycle budget before declaring no-drain")
     fuzz.add_argument("--no-oracle", action="store_true",
-                      help="skip the naive-vs-active lockstep comparison")
+                      help="skip the lockstep engine comparison")
+    fuzz.add_argument(
+        "--strategies", nargs="+", default=None, metavar="STRATEGY",
+        choices=("naive", "active", "vector"),
+        help="engine strategies for the lockstep oracle; the first is "
+             "the baseline (default: naive active; pass 'naive active "
+             "vector' for the three-way sweep)",
+    )
     fuzz.add_argument("--quick", action="store_true",
                       help="CI mode: a small time-boxed case budget")
 
@@ -815,6 +851,8 @@ COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.scale is None:
+        args.scale = COMMAND_SCALES.get(args.command, DEFAULT_SCALE)
     return COMMANDS[args.command](args)
 
 

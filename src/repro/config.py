@@ -21,6 +21,18 @@ from typing import Dict, List, Tuple
 #: Arbitration policy names accepted throughout the package.
 ARBITRATION_POLICIES = ("rr", "crr", "srr", "age", "fixed", "random")
 
+#: Engine scheduling strategies accepted by ``engine_strategy``.
+ENGINE_STRATEGIES = ("active", "naive", "vector")
+
+
+class ConfigError(ValueError):
+    """A configuration is invalid or unsatisfiable in this environment.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites keep working; raised with an actionable message (e.g.
+    ``engine_strategy="vector"`` requested without numpy installed).
+    """
+
 
 @dataclass(frozen=True)
 class DramTiming:
@@ -308,10 +320,13 @@ class GpuConfig:
     seed: int = 2021
 
     #: Simulation-engine scheduling strategy: "active" (active-set
-    #: scheduling with quiescence fast-forward; the default) or "naive"
-    #: (the reference tick-everything loop).  Both are cycle-exact with
-    #: respect to each other; "naive" exists for equivalence testing and
-    #: as a fallback while debugging new components.
+    #: scheduling with quiescence fast-forward; the default), "naive"
+    #: (the reference tick-everything loop) or "vector" (event-driven
+    #: batch scheduling over struct-of-arrays state mirrors; requires
+    #: numpy and raises :class:`ConfigError` without it).  All three are
+    #: cycle-exact with respect to each other; "naive" exists for
+    #: equivalence testing and as a fallback while debugging new
+    #: components, "vector" for full-Volta-scale throughput.
     engine_strategy: str = "active"
 
     #: Simulation-integrity validation (repro.validate): a conservation
@@ -350,10 +365,10 @@ class GpuConfig:
                 f"unknown arbitration {self.arbitration!r}; "
                 f"expected one of {ARBITRATION_POLICIES}"
             )
-        if self.engine_strategy not in ("active", "naive"):
+        if self.engine_strategy not in ENGINE_STRATEGIES:
             raise ValueError(
                 f"unknown engine_strategy {self.engine_strategy!r}; "
-                f"expected 'active' or 'naive'"
+                f"expected one of {ENGINE_STRATEGIES}"
             )
         if self.validate_interval <= 0:
             raise ValueError("validate_interval must be positive")
@@ -485,6 +500,19 @@ def small_config(**changes) -> GpuConfig:
         num_l2_slices=8,
         num_memory_controllers=4,
     )
+    return base.replace(**changes) if changes else base
+
+
+def large_config(**changes) -> GpuConfig:
+    """The full Table-1 V100 driven by the vectorized batch engine.
+
+    Same simulated hardware as :data:`VOLTA_V100` (80 SMs, 48 L2
+    slices); the only difference is ``engine_strategy="vector"``, which
+    makes full-Volta experiment sweeps and golden recordings practical.
+    Requires numpy (raises :class:`ConfigError` at device build time
+    otherwise — there is deliberately no silent fallback).
+    """
+    base = GpuConfig(engine_strategy="vector")
     return base.replace(**changes) if changes else base
 
 

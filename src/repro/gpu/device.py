@@ -29,7 +29,7 @@ from ..noc.crossbar import Crossbar
 from ..noc.mux import Mux
 from ..noc.packet import Packet
 from ..sim.clock import ClockSystem
-from ..sim.engine import Component, Engine
+from ..sim.engine import Component, create_engine
 from ..sim.stats import StatsRegistry
 from ..telemetry import Telemetry, TimelineProbe, note_device
 from .dram import MemoryController
@@ -51,7 +51,7 @@ class GpuDevice:
     ) -> None:
         self.config = config
         self.stats = StatsRegistry()
-        self.engine = Engine(strategy=config.engine_strategy)
+        self.engine = create_engine(config.engine_strategy)
         self._seed_salt = seed_salt
         self.clocks = ClockSystem(config, self.engine, seed_salt=seed_salt)
         #: Telemetry hub; None unless ``config.telemetry_enabled``.
@@ -59,6 +59,8 @@ class GpuDevice:
             Telemetry.from_config(config) if config.telemetry_enabled
             else None
         )
+        #: Struct-of-arrays occupancy mirror; None unless vector strategy.
+        self.soa_mirror = None
         self._build(l1_enabled)
         if self.telemetry is not None:
             self._attach_telemetry()
@@ -280,6 +282,8 @@ class GpuDevice:
         engine.register_all(self.reply_muxes)
         engine.register_all(self.reply_distributors)
         self._wire_wakes()
+        if config.engine_strategy == "vector":
+            self._wire_vector()
 
     def _wire_wakes(self) -> None:
         """Connect every queue to its consumer's wake-up hook.
@@ -317,6 +321,89 @@ class GpuDevice:
             )
         for sm in self.sms:
             sm.on_warp_done = self.scheduler.wake
+
+    def _wire_vector(self) -> None:
+        """Vector-strategy wiring: SoA mirrors, banks, and backpressure.
+
+        Builds the struct-of-arrays occupancy mirror over every NoC
+        queue, registers each mux tier as a batched bank with the
+        engine, switches the crossbars to the sparse vector tick, and
+        opts the SMs into reactive backpressure parking (a blocked LSU
+        parks until queue space or credits arrive instead of being
+        re-ticked every cycle).  Purely a scheduling-layer rewiring —
+        the scalar components remain authoritative for all state, which
+        the three-way lockstep oracle verifies digest-for-digest.
+        """
+        from ..noc.soa import MuxBank, SoaMirror
+
+        config = self.config
+        engine = self.engine
+        queues: List[PacketQueue] = []
+        queues.extend(self.inject_queues)
+        queues.extend(self.tpc_queues)
+        queues.extend(self.gpc_queues)
+        queues.extend(self.l2_request_queues)
+        for voqs in self.l2_reply_voqs:
+            queues.extend(voqs)
+        queues.extend(self.gpc_reply_queues)
+        mirror = SoaMirror(queues)
+        self.soa_mirror = mirror
+
+        # SM backpressure parking: a blocked LSU sleeps until its inject
+        # queue frees space or a reply returns credits (deliver_reply
+        # already wakes the SM); without this the blocked SM burns a
+        # retry tick every cycle of a long stall.
+        for sm in self.sms:
+            sm._vec = True
+            self.inject_queues[sm.sm_id].on_space = sm.wake
+
+        # Sole-contender packet batching on the TPC muxes: only
+        # profitable where a packet spans >2 cycles of channel occupancy
+        # (write bursts on the width-1 TPC channel), and only legal
+        # without per-flit observers (tracer, invariant checker).
+        for mux in self.tpc_muxes:
+            mux._vec = True
+        for mux in self.gpc_muxes:
+            mux._vec = True
+        if config.reply_voq:
+            for mux in self.reply_muxes:
+                mux._vec = True
+        batching = (
+            not config.telemetry_enabled and not config.validate_enabled
+        )
+        span = max(config.write_request_flits, config.read_request_flits)
+        if batching and span > 2 * config.tpc_channel_width:
+            for mux in self.tpc_muxes:
+                mux.enable_vector_batching()
+
+        self.request_xbar.enable_vector(mirror)
+        for reply_mux in self.reply_muxes:
+            if isinstance(reply_mux, Crossbar):
+                reply_mux.enable_vector(mirror)
+
+        def register_banks(tier: str, muxes: List[Mux]) -> None:
+            # Banks need contiguous registration and equal arity; a tier
+            # whose arity varies (80 SMs over 6 GPCs gives 7/7/7/7/6/6
+            # GPC muxes) splits into maximal same-arity runs.
+            run: List[Mux] = []
+            for mux in muxes:
+                if run and len(mux.inputs) != len(run[0].inputs):
+                    if len(run) > 1:
+                        engine.register_bank(
+                            MuxBank(f"{tier}.bank{len(run[0].inputs)}",
+                                    mirror, run)
+                        )
+                    run = []
+                run.append(mux)
+            if len(run) > 1:
+                engine.register_bank(
+                    MuxBank(f"{tier}.bank{len(run[0].inputs)}", mirror, run)
+                )
+
+        register_banks("tpc", self.tpc_muxes)
+        register_banks("gpc", self.gpc_muxes)
+        if config.reply_voq:
+            register_banks("reply", self.reply_muxes)
 
     def _attach_telemetry(self) -> None:
         """Opt every instrumented component into the telemetry hub.

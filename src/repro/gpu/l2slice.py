@@ -64,6 +64,10 @@ class L2Slice(Component):
             seed=config.seed + slice_id,
         )
         self._num_slices = config.num_l2_slices
+        self._requests_key = f"{self.name}.requests"
+        self._misses_key = f"{self.name}.misses"
+        #: Slice-interleaving stride for :meth:`_local`.
+        self._interleave = config.l2_line_bytes * config.num_l2_slices
         #: FIFO of (ready_cycle, request packet) — hits in pipeline order.
         self._pipeline: Deque[Tuple[int, Packet]] = deque()
         #: Requests waiting on DRAM, completed by the MC callback.
@@ -87,7 +91,7 @@ class L2Slice(Component):
                 break
             self.request_queue.pop()
             if self.stats is not None:
-                self.stats.incr(f"{self.name}.requests")
+                self.stats.incr(self._requests_key)
             hit = self.cache.access(self._local(packet.address), allocate=True)
             if self._tracer is not None:
                 self._tracer.emit(cycle, L2_HIT if hit else L2_MISS,
@@ -112,7 +116,7 @@ class L2Slice(Component):
                 self._pipeline.append((cycle + self.config.l2_latency, packet))
             else:
                 if self.stats is not None:
-                    self.stats.incr(f"{self.name}.misses")
+                    self.stats.incr(self._misses_key)
                 self.controller.enqueue(
                     packet.address, packet.kind != READ, (self, packet)
                 )
@@ -179,7 +183,7 @@ class L2Slice(Component):
         ``s + num_slices``, …) would alias to the same cache set.
         """
         line_bytes = self.config.l2_line_bytes
-        return (address // line_bytes // self._num_slices) * line_bytes
+        return (address // self._interleave) * line_bytes
 
     # -- preloading ------------------------------------------------------ #
     def preload(self, address: int) -> None:

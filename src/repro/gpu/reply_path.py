@@ -50,6 +50,8 @@ class GpcReplyDistributor(Component):
         self.deliver = deliver
         self.stats = stats
         self._member_tpcs = set(member_tpcs)
+        self._packets_key = f"{self.name}.packets"
+        self._sms_per_tpc = config.sms_per_tpc
         #: Flits of the head packet already moved this + previous cycles.
         self._progress = 0
         #: Per-TPC residual budget for the current cycle.
@@ -79,7 +81,7 @@ class GpcReplyDistributor(Component):
             packet = queue.head()
             if packet is None:
                 break
-            tpc = self.config.sm_to_tpc(packet.src_sm)
+            tpc = packet.src_sm // self._sms_per_tpc
             if tpc not in self._member_tpcs:
                 raise RuntimeError(
                     f"{self.name}: reply for SM {packet.src_sm} (TPC {tpc}) "
@@ -101,7 +103,7 @@ class GpcReplyDistributor(Component):
                                       packet.uid, packet.src_sm)
                 self.deliver(packet, cycle)
                 if self.stats is not None:
-                    self.stats.incr(f"{self.name}.packets")
+                    self.stats.incr(self._packets_key)
         self._tpc_budget = tpc_budget
         moved = self.config.gpc_reply_width - budget
         if moved and self._tl_link is not None:

@@ -114,6 +114,16 @@ class StreamingMultiprocessor(Component):
         #: Conservation checker (None unless the device enables
         #: validation); same one-branch-when-disabled pattern as _tracer.
         self._validator = None
+        # -- vector mode -------------------------------------------------- #
+        #: Set by the device under ``strategy="vector"``: a backpressure-
+        #: blocked LSU parks reactively (the injection queue's pop hook
+        #: and reply deliveries wake the SM) instead of retrying every
+        #: cycle.  The retry ticks it skips are state-preserving no-ops,
+        #: so skipping them is cycle-exact.
+        self._vec = False
+        #: True when this tick's last issue attempt was refused (queue
+        #: full or out of credits); cleared whenever the LSU runs.
+        self._blocked = False
 
     def attach_telemetry(self, hub) -> None:
         """Opt this SM into flit-lifecycle event tracing."""
@@ -182,6 +192,7 @@ class StreamingMultiprocessor(Component):
         num = len(warps)
         if num == 0:
             return
+        self._blocked = False
         while budget > 0:
             current = self._current_issue_warp()
             if current is None:
@@ -194,6 +205,7 @@ class StreamingMultiprocessor(Component):
                         warps.index(current) + 1
                     ) % num
             else:
+                self._blocked = True
                 break  # blocked on credits or queue space
 
     def _current_issue_warp(self) -> Optional[WarpSlot]:
@@ -429,11 +441,17 @@ class StreamingMultiprocessor(Component):
         calls :meth:`deliver_reply`, which wakes the SM).
         """
         wake = FOREVER
+        parked_issuing = self._vec and self._blocked
         for warp in self.warps:
             state = warp.state
             if state == SLEEP:
                 if warp.wake_cycle < wake:
                     wake = warp.wake_cycle
+            elif state == ISSUING and parked_issuing:
+                # Vector mode: the LSU is backpressure-blocked; retry
+                # ticks are no-ops until the injection queue's pop hook
+                # or a reply delivery wakes the SM, so park reactively.
+                continue
             elif state != WAIT_MEM and state != DONE:
                 return None  # NEW / READY / ISSUING: busy
         for ready, _ in self._l1_returns:

@@ -33,6 +33,16 @@ class ArbitrationPolicy:
 
     name = "abstract"
 
+    #: True when the policy's per-flit behaviour is *invariant* across
+    #: the silent middle of a sole-contender packet: with exactly one
+    #: nonempty input, every intermediate ``choose``/``note_flit`` is
+    #: deterministic and idempotent, so the vector engine may transfer
+    #: the packet's remaining flits as one batched operation and park
+    #: until the completion cycle.  False for policies that consume
+    #: per-flit state regardless of contention (RANDOM draws its rng per
+    #: grant; SRR's slot ownership gates which cycles move flits at all).
+    flit_invariant = False
+
     def __init__(self, num_inputs: int) -> None:
         self.num_inputs = num_inputs
 
@@ -74,6 +84,7 @@ class RoundRobin(ArbitrationPolicy):
     """
 
     name = "rr"
+    flit_invariant = True  # mid-packet: locked port, idempotent note_flit
 
     def __init__(self, num_inputs: int) -> None:
         super().__init__(num_inputs)
@@ -114,6 +125,7 @@ class CoarseRoundRobin(ArbitrationPolicy):
     """
 
     name = "crr"
+    flit_invariant = True  # mid-packet: held port/group, idempotent
 
     def __init__(self, num_inputs: int) -> None:
         super().__init__(num_inputs)
@@ -175,6 +187,7 @@ class AgeBased(ArbitrationPolicy):
     """
 
     name = "age"
+    flit_invariant = True  # stateless; sole candidate always wins
 
     def choose(self, candidates, heads, cycle):
         return min(candidates, key=lambda port: heads[port].birth_cycle)
@@ -184,6 +197,7 @@ class FixedPriority(ArbitrationPolicy):
     """Lowest port index always wins (can starve; test reference only)."""
 
     name = "fixed"
+    flit_invariant = True  # stateless; sole candidate always wins
 
     def choose(self, candidates, heads, cycle):
         return min(candidates)

@@ -47,14 +47,49 @@ class Mux(Component):
         self.width = width
         self.policy = policy
         self.stats = stats
+        # Counter keys are interned once: the flits counter is bumped on
+        # every granted flit, and per-flit f-string formatting was
+        # measurable at Table-1 scale.
+        self._flits_key = f"{name}.flits"
+        self._packets_key = f"{name}.packets"
         #: Flits already transmitted of each input's head packet.
         self._progress: List[int] = [0] * len(inputs)
         #: Whether output space is reserved for each input's head packet.
         self._reserved: List[bool] = [False] * len(inputs)
+        # -- vector-mode sparse tick -------------------------------------- #
+        #: Device sets this under ``strategy="vector"``: tick via
+        #: :meth:`_tick_sparse` (live-input iteration) instead of the
+        #: full-width scalar loop.
+        self._vec = False
+        #: ``idle_until`` verdict computed by the sparse tick (None =
+        #: busy); only consulted when ``_vec`` is set.
+        self._idle_hint = None
+        # -- vector-mode lazy packet batching ---------------------------- #
+        #: Enabled by the device under ``strategy="vector"`` when the
+        #: policy is flit-invariant and no tracer/validator needs per-flit
+        #: visibility; see :meth:`enable_vector_batching`.
+        self._vec_batch = False
+        #: In-flight batched transfer ``(port, c0, p0, flits, t_star)``:
+        #: the sole-contender head packet on ``port`` had ``p0`` flits
+        #: transmitted before cycle ``c0`` and silently moves ``width``
+        #: flits per cycle until the completion tick at ``t_star``.
+        self._batch = None
         # -- telemetry (None unless the device enables it) -------------- #
         self._tracer = None
         self._tl_id = 0
         self._tl_link = None
+
+    def enable_vector_batching(self) -> None:
+        """Opt into multi-cycle sole-contender packet batching.
+
+        Only valid with a flit-invariant policy and without per-flit
+        observers (telemetry tracer, invariant checker): the batched
+        middle of a packet emits no per-flit events and leaves
+        ``_progress`` stale until materialised, which those observers
+        would see.  The device gates this accordingly.
+        """
+        if self.policy.flit_invariant:
+            self._vec_batch = True
 
     def attach_telemetry(self, hub) -> None:
         """Opt this mux into event tracing and link-utilization series."""
@@ -63,6 +98,11 @@ class Mux(Component):
         self._tl_link = hub.timeline.register_link(self.name, self.width)
 
     def tick(self, cycle: int) -> None:
+        if self._vec:
+            self._tick_sparse(cycle)
+            return
+        if self._batch is not None:
+            self._materialize(cycle)
         budget = self.width
         inputs = self.inputs
         allowed = self.policy.allowed_inputs(cycle)
@@ -98,14 +138,146 @@ class Mux(Component):
                 self._progress[port] = 0
                 self._reserved[port] = False
                 if self.stats is not None:
-                    self.stats.incr(f"{self.name}.packets")
+                    self.stats.incr(self._packets_key)
                 if self._tracer is not None:
                     self._tracer.emit(cycle, MUX_XFER, self._tl_id,
                                       port, packet.uid)
             if self.stats is not None:
-                self.stats.incr(f"{self.name}.flits")
+                self.stats.incr(self._flits_key)
         if moved and self._tl_link is not None:
             self._tl_link.add(cycle, moved)
+        if self._vec_batch and moved:
+            self._maybe_start_batch(cycle)
+
+    def _tick_sparse(self, cycle: int) -> None:
+        """Vector-mode tick: identical grants, live-input iteration.
+
+        The scalar loop rebuilds a full-width ``heads`` list on every
+        flit of budget — 48 ``head()`` calls per round on a reply mux
+        that usually has one busy input.  This walk touches only the
+        nonempty ports and skips the policy call entirely when a single
+        candidate and a flit-invariant policy make the grant forced.
+        Grant-for-grant and counter-for-counter identical to the scalar
+        tick.
+        """
+        if self._batch is not None:
+            self._materialize(cycle)
+        inputs = self.inputs
+        live = [p for p, q in enumerate(inputs) if q]
+        if not live:
+            self._idle_hint = FOREVER
+            return
+        policy = self.policy
+        allowed = policy.allowed_inputs(cycle)
+        forced = policy.flit_invariant
+        budget = self.width
+        moved = 0
+        completed = 0
+        reserved = self._reserved
+        progress = self._progress
+        output = self.output
+        heads: List[Optional[Packet]] = [None] * len(inputs)
+        while budget > 0:
+            candidates = []
+            for p in live:
+                head = inputs[p].head()
+                heads[p] = head
+                if head is not None and (
+                    reserved[p] or output.can_reserve(head.flits)
+                ):
+                    candidates.append(p)
+            if allowed is not None:
+                candidates = [p for p in candidates if p in allowed]
+            if not candidates:
+                break
+            if forced and len(candidates) == 1:
+                port = candidates[0]
+            else:
+                port = policy.choose(candidates, heads, cycle)
+            packet = heads[port]
+            if not reserved[port]:
+                output.reserve(packet.flits)
+                reserved[port] = True
+            if self._tracer is not None and progress[port] == 0:
+                self._tracer.emit(cycle, MUX_GRANT, self._tl_id,
+                                  port, packet.uid)
+            progress[port] += 1
+            budget -= 1
+            moved += 1
+            last = progress[port] >= packet.flits
+            policy.note_flit(port, packet, last)
+            if last:
+                inputs[port].pop()
+                output.commit(packet)
+                progress[port] = 0
+                reserved[port] = False
+                completed += 1
+                if self._tracer is not None:
+                    self._tracer.emit(cycle, MUX_XFER, self._tl_id,
+                                      port, packet.uid)
+        if moved:
+            stats = self.stats
+            if stats is not None:
+                stats.incr(self._flits_key, moved)
+                if completed:
+                    stats.incr(self._packets_key, completed)
+            if self._tl_link is not None:
+                self._tl_link.add(cycle, moved)
+            if self._vec_batch:
+                self._maybe_start_batch(cycle)
+        for p in live:
+            if inputs[p]:
+                self._idle_hint = None
+                return
+        self._idle_hint = FOREVER
+
+    # -- vector-mode lazy batching -------------------------------------- #
+    def _materialize(self, cycle: int) -> None:
+        """Fold a batched transfer's silent cycles into scalar state.
+
+        Called at the first tick after the batch was parked (either its
+        own completion timer at ``t_star`` or an early wake from a push
+        on another input): cycles ``c0 .. cycle-1`` each moved ``width``
+        flits of the sole-contender packet, so progress and the flit
+        counter advance by ``width * (cycle - c0)`` in one step, and the
+        normal per-flit loop resumes for this cycle.
+        """
+        port, c0, p0, flits, _ = self._batch
+        self._batch = None
+        skipped = self.width * (cycle - c0)
+        if skipped <= 0:
+            return
+        self._progress[port] = p0 + skipped
+        if self.stats is not None:
+            self.stats.incr(self._flits_key, skipped)
+
+    def _maybe_start_batch(self, cycle: int) -> None:
+        """Park a sole-contender mid-packet transfer until completion.
+
+        Engages only when exactly one input is nonempty and its head
+        packet is mid-transmission with at least two full silent cycles
+        ahead: the flit-invariant policy guarantees the intermediate
+        grants are deterministic no-ops on policy state, so the engine
+        can skip straight to the completion tick.
+        """
+        busy_port = -1
+        for port, queue in enumerate(self.inputs):
+            if queue:
+                if busy_port >= 0:
+                    return  # contended: per-flit arbitration required
+                busy_port = port
+        if busy_port < 0 or not self._reserved[busy_port]:
+            return
+        progress = self._progress[busy_port]
+        if progress <= 0:
+            return
+        head = self.inputs[busy_port].head()
+        remaining = head.flits - progress
+        ticks = -(-remaining // self.width)  # ceil
+        if ticks < 2:
+            return  # completes next tick anyway; nothing to skip
+        c0 = cycle + 1
+        self._batch = (busy_port, c0, progress, head.flits, c0 + ticks - 1)
 
     def _can_start(self, port: int, head: Packet) -> bool:
         """A packet may (continue to) transmit if output space is secured."""
@@ -119,7 +291,14 @@ class Mux(Component):
         An in-progress packet keeps its head in the input queue until the
         last flit, so nonempty inputs cover the blocked/backpressured
         cases too.  New work arrives via the input queues' push hooks.
+        A batched sole-contender transfer parks until its completion
+        tick (an early push on another input wakes the mux sooner and
+        the batch is materialised mid-flight).
         """
+        if self._batch is not None:
+            return self._batch[4]
+        if self._vec:
+            return self._idle_hint
         for queue in self.inputs:
             if queue:
                 return None
@@ -139,9 +318,21 @@ class Mux(Component):
                 yield self.output, (0 if head is None else head.flits)
 
     def state_digest(self):
-        """Progress/reservation state plus the queues this mux touches."""
+        """Progress/reservation state plus the queues this mux touches.
+
+        A pending batched transfer is materialised *virtually*: the
+        digest reports the progress the scalar strategies hold at this
+        engine cycle, so lockstep comparison is exact mid-batch.
+        """
+        if self._batch is None:
+            progress = tuple(self._progress)
+        else:
+            port, c0, p0, _flits, _ = self._batch
+            virtual = list(self._progress)
+            virtual[port] = p0 + self.width * (self._engine.cycle - c0)
+            progress = tuple(virtual)
         return (
-            tuple(self._progress),
+            progress,
             tuple(self._reserved),
             self.policy.state_digest(),
             tuple(queue.state_digest() for queue in self.inputs),
@@ -151,6 +342,8 @@ class Mux(Component):
     def reset(self) -> None:
         self._progress = [0] * len(self.inputs)
         self._reserved = [False] * len(self.inputs)
+        self._batch = None
+        self._idle_hint = None
         self.policy.reset()
         for queue in self.inputs:
             queue.clear()

@@ -1,0 +1,145 @@
+"""Struct-of-arrays state mirrors for the vector engine.
+
+The scalar NoC components keep their state in Python attributes; at the
+Table-1 scale (200+ queues) even *reading* that state — "which of this
+bank's 40 muxes have a nonempty input?" — costs a Python attribute walk
+per queue.  :class:`SoaMirror` keeps the queue occupancy/credit
+accounting mirrored in preallocated numpy arrays, write-through from
+:class:`~repro.noc.buffer.PacketQueue` mutations, with a
+component↔array-index registry so batch kernels can gather the state of
+an entire mux tree in one vectorised operation.
+
+:class:`MuxBank` is the batch kernel over one tier of the mux tree (all
+TPC muxes, all GPC muxes, the per-GPC reply muxes): a single occupancy
+gather over the mirror partitions the bank's active members into
+"has work" (scalar-ticked, preserving exact arbitration semantics) and
+"drained" (parked without a tick — their tick is a no-op by the queue
+emptiness invariant, so skipping it is cycle-exact).
+
+The scalar components remain authoritative: the mirror is an index, not
+a second implementation, which is what keeps the vector strategy
+bit-identical to ``naive``/``active`` under the lockstep oracle.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..sim.engine import FOREVER
+from .buffer import PacketQueue
+from .mux import Mux
+
+#: Active-member count below which a bank ticks its members scalar-style
+#: (numpy gathers only pay off once several members are active at once).
+BANK_BATCH_THRESHOLD = 4
+
+
+class SoaMirror:
+    """Preallocated numpy mirrors of every registered queue's accounting.
+
+    Arrays are index-parallel: ``q_len[i]`` / ``q_used[i]`` /
+    ``q_reserved[i]`` / ``q_capacity[i]`` mirror the queue registered at
+    index ``i``.  Queues write through on every mutation (commit,
+    reserve, pop, clear), so a gather over the arrays always observes
+    the same occupancy the scalar attributes hold.
+    """
+
+    def __init__(self, queues: List[PacketQueue]) -> None:
+        self.queues = list(queues)
+        n = len(self.queues)
+        self.q_len = np.zeros(n, dtype=np.int32)
+        self.q_used = np.zeros(n, dtype=np.int32)
+        self.q_reserved = np.zeros(n, dtype=np.int32)
+        self.q_capacity = np.zeros(n, dtype=np.int32)
+        for index, queue in enumerate(self.queues):
+            if queue._soa is not None:
+                raise ValueError(f"{queue.name}: already mirrored")
+            queue._soa = self
+            queue._soa_idx = index
+            self.q_len[index] = len(queue)
+            self.q_used[index] = queue.used_flits
+            self.q_reserved[index] = queue._reserved_flits
+            self.q_capacity[index] = queue.capacity_flits
+
+    def index_of(self, queue: PacketQueue) -> int:
+        """Array index of ``queue`` (raises if it is not mirrored)."""
+        if queue._soa is not self:
+            raise KeyError(f"{queue.name}: not registered with this mirror")
+        return queue._soa_idx
+
+    def free_flits(self, indices) -> np.ndarray:
+        """Vectorised ``free_flits`` for the queues at ``indices``."""
+        return (
+            self.q_capacity[indices]
+            - self.q_used[indices]
+            - self.q_reserved[indices]
+        )
+
+
+class MuxBank:
+    """One tier of the mux tree, ticked as a single batched operation.
+
+    Members must be same-arity muxes registered contiguously with the
+    engine (the device registers each tier as one block).  On a batch
+    tick, one gather over the mirror's ``q_len`` array classifies every
+    active member; members with work are ticked scalar (their
+    arbitration, reserve/commit and policy state advance exactly as
+    under the scalar strategies) and drained members are parked
+    reactively without a tick.
+    """
+
+    def __init__(self, name: str, mirror: SoaMirror, members: List[Mux]) -> None:
+        if not members:
+            raise ValueError(f"{name}: empty bank")
+        arity = len(members[0].inputs)
+        if any(len(m.inputs) != arity for m in members):
+            raise ValueError(f"{name}: mixed-arity members")
+        self.name = name
+        self.mirror = mirror
+        self.members = list(members)
+        self.arity = arity
+        #: Set by ``VectorEngine.register_bank`` (first member's index).
+        self.lo = 0
+        #: (num_members, arity) gather map into the mirror arrays.
+        self.input_idx = np.array(
+            [[mirror.index_of(q) for q in m.inputs] for m in members],
+            dtype=np.intp,
+        )
+
+    def tick_batch(self, engine, members: List[int], cycle: int) -> int:
+        """Tick the active ``members`` (absolute engine indices).
+
+        Returns the number of component ticks actually executed.  The
+        engine has already marked the scan as past this bank; parking is
+        applied here via :meth:`VectorEngine.park`.
+        """
+        lo = self.lo
+        muxes = self.members
+        ticked = 0
+        if len(members) >= BANK_BATCH_THRESHOLD:
+            # One occupancy gather decides the whole bank: members whose
+            # every input queue is empty have no-op ticks by contract
+            # and park reactively without being ticked.
+            pos = np.asarray(members, dtype=np.intp) - lo
+            has_work = (self.mirror.q_len[self.input_idx[pos]] > 0).any(axis=1)
+            for k, index in enumerate(members):
+                if not has_work[k]:
+                    engine.park(index, FOREVER)
+                    continue
+                mux = muxes[index - lo]
+                mux.tick(cycle)
+                ticked += 1
+                until = mux.idle_until(cycle)
+                if until is not None and until > cycle + 1:
+                    engine.park(index, until)
+            return ticked
+        for index in members:
+            mux = muxes[index - lo]
+            mux.tick(cycle)
+            ticked += 1
+            until = mux.idle_until(cycle)
+            if until is not None and until > cycle + 1:
+                engine.park(index, until)
+        return ticked

@@ -1,12 +1,14 @@
-"""Engine-scheduling microbenchmark: naive vs active-set strategies.
+"""Engine-scheduling microbenchmark: naive vs active vs vector strategies.
 
 Times identical seeded workloads under ``engine_strategy="naive"`` (tick
-every component every cycle) and ``"active"`` (active-set scheduling with
-idle fast-forward), checks that the measured channel results are
-bit-identical, and emits ``BENCH_engine.json``::
+every component every cycle), ``"active"`` (active-set scheduling with
+idle fast-forward) and ``"vector"`` (struct-of-arrays batch kernels over
+the active strategy's schedule), checks that the measured channel results
+are bit-identical across all strategies, and emits
+``BENCH_engine.json``::
 
-    python -m repro bench                 # small scale, default workloads
-    python -m repro bench --scale medium
+    python -m repro bench                 # full-Volta scale by default
+    python -m repro bench --scale small
 
 Two representative workloads are measured:
 
@@ -15,9 +17,15 @@ Two representative workloads are measured:
 * ``fig9_sync`` — the Figure 9 synchronised latency trace, whose idle
   guard slots between symbols are where fast-forward pays off most.
 
-The report also carries a ``"telemetry"`` section (tracing overhead) and
-a ``"supervision"`` section (fault-tolerant runner overhead on a clean
+The report also carries a ``"vector"`` section (vector-vs-active floor
+plus a ``full_volta`` block pinning the Table-1-scale numbers the PR's
+acceptance tracks), a ``"telemetry"`` section (tracing overhead) and a
+``"supervision"`` section (fault-tolerant runner overhead on a clean
 sweep, legacy pool vs per-job supervision; must stay <5%).
+
+The vector strategy requires numpy; without it the vector legs are
+recorded as unavailable (with the :class:`~repro.config.ConfigError`
+message) instead of silently falling back to another strategy.
 """
 
 from __future__ import annotations
@@ -27,10 +35,19 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
-from ..config import GpuConfig
+from ..config import ConfigError, GpuConfig, VOLTA_V100
 
 #: Default output file name.
 BENCH_OUTPUT = "BENCH_engine.json"
+
+
+def vector_available() -> bool:
+    """Whether the optional numpy dependency for ``vector`` is present."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
 
 
 def _tpc_channel(config: GpuConfig, num_bits: int) -> Tuple[int, Any]:
@@ -44,13 +61,17 @@ def _tpc_channel(config: GpuConfig, num_bits: int) -> Tuple[int, Any]:
 
 
 def _fig9_sync(config: GpuConfig, num_bits: int) -> Tuple[int, Any]:
-    from ..analysis.figures import fig9_latency_trace
+    from ..channel.protocol import ChannelParams
+    from ..channel.tpc_channel import TpcCovertChannel
 
-    bits, trace = fig9_latency_trace(config, with_sync=True,
-                                     num_bits=num_bits)
-    # fig9 has no single cycle count; use trace length as the work unit
-    # and approximate cycles from the config slot budget below.
-    return 0, (bits, trace)
+    # Same parameters as fig9_latency_trace(with_sync=True); run through
+    # the channel directly so the simulated cycle count is reportable.
+    params = ChannelParams().with_(sync_period=8, slot_cycles=0,
+                                   threshold=1.0)
+    channel = TpcCovertChannel(config, params=params)
+    bits = [slot % 2 for slot in range(num_bits)]
+    result = channel.transmit(bits)
+    return result.cycles, (bits, result.measurements)
 
 
 _WORKLOADS: Dict[str, Callable[[GpuConfig, int], Tuple[int, Any]]] = {
@@ -156,21 +177,76 @@ def _bench_supervision(config: GpuConfig, num_bits: int) -> Dict[str, Any]:
     }
 
 
+def _bench_full_volta(
+    config: GpuConfig,
+    num_bits: int,
+    report: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Pin the vector-vs-active numbers at the Table-1 V100 scale.
+
+    This is the scale the vector engine exists for; the block records it
+    explicitly even when the bench itself ran at another ``--scale``.
+    When the bench config already is full-Volta the measured workload
+    entries are reused instead of re-simulated.
+    """
+    block: Dict[str, Any] = {
+        "num_sms": VOLTA_V100.num_sms,
+        "num_l2_slices": VOLTA_V100.num_l2_slices,
+        "workload": "tpc_channel",
+        "num_bits": num_bits,
+    }
+    at_volta = (
+        config.num_sms == VOLTA_V100.num_sms
+        and config.num_l2_slices == VOLTA_V100.num_l2_slices
+    )
+    if at_volta:
+        entry = report["workloads"]["tpc_channel"]
+        for key in ("cycles", "active_wall_s", "vector_wall_s",
+                    "active_cycles_per_s", "vector_cycles_per_s"):
+            if key in entry:
+                block[key] = entry[key]
+        if "vector_speedup_vs_active" in entry:
+            block["speedup_vs_active"] = entry["vector_speedup_vs_active"]
+        block["identical"] = entry["identical"]
+        return block
+    active_s, cycles, active_fp = _time_strategy(
+        _tpc_channel, VOLTA_V100, "active", num_bits
+    )
+    vector_s, vector_cycles, vector_fp = _time_strategy(
+        _tpc_channel, VOLTA_V100, "vector", num_bits
+    )
+    assert active_fp == vector_fp, (
+        "full-Volta: vector engine diverged from the active baseline"
+    )
+    assert cycles == vector_cycles, (
+        f"full-Volta: cycle counts diverged ({cycles} vs {vector_cycles})"
+    )
+    block.update(
+        cycles=cycles,
+        active_wall_s=round(active_s, 4),
+        vector_wall_s=round(vector_s, 4),
+        active_cycles_per_s=round(cycles / active_s, 1),
+        vector_cycles_per_s=round(cycles / vector_s, 1),
+        speedup_vs_active=round(active_s / vector_s, 3),
+        identical=True,
+    )
+    return block
+
+
 def bench_engine(
     config: GpuConfig,
     num_bits: int = 24,
     workloads: Optional[Tuple[str, ...]] = None,
     output: Union[str, Path, None] = BENCH_OUTPUT,
 ) -> Dict[str, Any]:
-    """Benchmark both engine strategies; optionally write a JSON report.
+    """Benchmark all engine strategies; optionally write a JSON report.
 
     Returns the report dict.  Raises ``AssertionError`` if any workload
-    produces different results under the two strategies — the active-set
-    engine is only an optimisation if it is cycle-exact.  The report also
-    carries a ``"telemetry"`` section measuring the tracing subsystem's
-    overhead (enabled vs disabled) on the channel workload.
+    produces different results under any two strategies — the optimised
+    engines are only optimisations if they are cycle-exact.
     """
     names = workloads or tuple(_WORKLOADS)
+    with_vector = vector_available()
     report: Dict[str, Any] = {
         "scales": {
             "num_sms": config.num_sms,
@@ -180,6 +256,7 @@ def bench_engine(
         "workloads": {},
     }
     speedups = []
+    vector_speedups = []
     for name in names:
         workload = _WORKLOADS[name]
         naive_s, cycles, naive_fp = _time_strategy(
@@ -202,12 +279,46 @@ def bench_engine(
             "speedup": round(speedup, 3),
             "identical": True,
         }
+        if with_vector:
+            vector_s, vector_cycles, vector_fp = _time_strategy(
+                workload, config, "vector", num_bits
+            )
+            assert naive_fp == vector_fp, (
+                f"{name}: vector engine diverged from naive baseline"
+            )
+            assert cycles == vector_cycles, (
+                f"{name}: vector cycle count diverged "
+                f"({cycles} vs {vector_cycles})"
+            )
+            vector_speedup = (
+                active_s / vector_s if vector_s > 0 else float("inf")
+            )
+            vector_speedups.append(vector_speedup)
+            entry["vector_wall_s"] = round(vector_s, 4)
+            entry["vector_speedup_vs_active"] = round(vector_speedup, 3)
         if cycles:
             entry["cycles"] = cycles
             entry["naive_cycles_per_s"] = round(cycles / naive_s, 1)
             entry["active_cycles_per_s"] = round(cycles / active_s, 1)
+            if with_vector:
+                entry["vector_cycles_per_s"] = round(cycles / vector_s, 1)
         report["workloads"][name] = entry
     report["min_speedup"] = round(min(speedups), 3)
+    if with_vector:
+        report["vector"] = {
+            "available": True,
+            "min_speedup_vs_active": round(min(vector_speedups), 3),
+            "full_volta": _bench_full_volta(config, num_bits, report),
+        }
+    else:
+        try:
+            from ..sim.engine import create_engine
+
+            create_engine("vector")
+            message = "numpy import succeeded unexpectedly"
+        except ConfigError as error:
+            message = str(error)
+        report["vector"] = {"available": False, "error": message}
     report["telemetry"] = _bench_telemetry(config, num_bits)
     report["supervision"] = _bench_supervision(config, num_bits)
     if output is not None:

@@ -60,6 +60,16 @@ class ClockSystem:
         ]
         self._read_jitter = skew.read_jitter
         self._fuzz = config.clock_fuzz
+        #: Per-SM static offsets, precomputed once: ``sm_to_gpc`` walks
+        #: the TPC→GPC topology map, which is far too expensive to
+        #: rebuild on every clock() read (receivers read the clock every
+        #: probe iteration).
+        self._base_offsets: List[int] = [
+            self._gpc_base[config.sm_to_gpc(sm)]
+            + self._tpc_offset[config.sm_to_tpc(sm)]
+            + self._sm_offset[sm]
+            for sm in range(config.num_sms)
+        ]
         #: RNG state right after the offset draws; reset() rewinds the
         #: per-read jitter stream to here so a device reset replays
         #: exactly like a freshly built device.
@@ -71,12 +81,7 @@ class ClockSystem:
 
     def base_offset(self, sm_id: int) -> int:
         """The static (cycle-independent) offset of ``sm_id``'s register."""
-        cfg = self._config
-        return (
-            self._gpc_base[cfg.sm_to_gpc(sm_id)]
-            + self._tpc_offset[cfg.sm_to_tpc(sm_id)]
-            + self._sm_offset[sm_id]
-        )
+        return self._base_offsets[sm_id]
 
     def read(self, sm_id: int) -> int:
         """Read ``clock()`` on ``sm_id`` at the current engine cycle.

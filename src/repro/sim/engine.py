@@ -60,8 +60,33 @@ from typing import Callable, List, Optional
 #: beyond this is treated as "no timer".
 FOREVER = 1 << 62
 
-#: Accepted Engine scheduling strategies.
-STRATEGIES = ("active", "naive")
+#: Accepted Engine scheduling strategies.  "vector" is implemented by
+#: :class:`repro.sim.vector.VectorEngine` (event-driven batch scheduling
+#: over numpy state arrays) and is instantiated via :func:`create_engine`.
+STRATEGIES = ("active", "naive", "vector")
+
+
+def create_engine(strategy: str = "active") -> "Engine":
+    """Build the engine for ``strategy``.
+
+    ``"vector"`` requires numpy: without it a
+    :class:`repro.config.ConfigError` is raised (never a silent fallback
+    to another strategy — a run must use exactly the engine it asked
+    for).
+    """
+    if strategy == "vector":
+        from ..config import ConfigError
+
+        try:
+            from .vector import VectorEngine
+        except ImportError as exc:
+            raise ConfigError(
+                "engine_strategy='vector' requires numpy, which is not "
+                "installed; install the 'vector' extra (pip install "
+                "repro[vector]) or use engine_strategy='active'"
+            ) from exc
+        return VectorEngine()
+    return Engine(strategy=strategy)
 
 
 class Component:
@@ -149,6 +174,11 @@ class Engine:
             raise ValueError(
                 f"unknown engine strategy {strategy!r}; "
                 f"expected one of {STRATEGIES}"
+            )
+        if strategy == "vector" and type(self) is Engine:
+            raise ValueError(
+                "strategy='vector' is implemented by VectorEngine; "
+                "build it via create_engine('vector')"
             )
         self.strategy = strategy
         self._components: List[Component] = []

@@ -13,7 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from ..config import GpuConfig, VOLTA_V100, medium_config, small_config
+from ..config import (
+    GpuConfig,
+    VOLTA_V100,
+    large_config,
+    medium_config,
+    small_config,
+)
 from ..runner import ResultCache, SimJob, run_jobs
 from .artifacts import Artifact, artifacts_for_scale, get_artifact
 from .expectations import ExpectationResult
@@ -24,11 +30,14 @@ from .golden import (
     StaleGoldenError,
 )
 
-#: Scales the golden harness understands.
+#: Scales the golden harness understands.  ``large`` is the full Volta
+#: under the vectorized engine — bit-identical to ``volta`` by the
+#: lockstep oracle, but fast enough to record goldens at Table-1 scale.
 SCALE_FACTORIES = {
     "small": small_config,
     "medium": medium_config,
     "volta": lambda: VOLTA_V100,
+    "large": large_config,
 }
 
 

@@ -22,13 +22,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from ..config import ARBITRATION_POLICIES, GpuConfig
 from ..gpu.device import GpuDevice
 from ..gpu.workloads import make_streaming_kernel
 from .invariants import InvariantViolation
-from .oracle import verify_equivalence
+from .oracle import DEFAULT_STRATEGIES, verify_equivalence
 
 
 def random_config(rng: random.Random) -> GpuConfig:
@@ -147,6 +147,7 @@ def run_case(
     max_cycles: int = 200_000,
     oracle_cycles: int = 6_000,
     oracle: bool = True,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
 ) -> FuzzCase:
     """Run one fuzz case end to end; never raises, records failures."""
     rng = random.Random(seed)
@@ -170,7 +171,8 @@ def run_case(
             case.delivered = checker.delivered
     if case.ok and oracle:
         divergence = verify_equivalence(
-            config, stimulus, max_cycles=oracle_cycles
+            config, stimulus, max_cycles=oracle_cycles,
+            strategies=strategies,
         )
         if divergence is not None:
             case.failure = f"oracle: {divergence}"
@@ -184,8 +186,14 @@ def fuzz(
     oracle_cycles: int = 6_000,
     oracle: bool = True,
     on_case: Optional[Callable[[FuzzCase], None]] = None,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
 ) -> FuzzReport:
-    """Run ``runs`` cases with case seeds ``seed .. seed+runs-1``."""
+    """Run ``runs`` cases with case seeds ``seed .. seed+runs-1``.
+
+    ``strategies`` is forwarded to the lockstep oracle; pass all of
+    :data:`~repro.config.ENGINE_STRATEGIES` for a three-way sweep that
+    includes the vector engine.
+    """
     report = FuzzReport()
     for case_seed in range(seed, seed + runs):
         case = run_case(
@@ -193,6 +201,7 @@ def fuzz(
             max_cycles=max_cycles,
             oracle_cycles=oracle_cycles,
             oracle=oracle,
+            strategies=strategies,
         )
         report.cases.append(case)
         if on_case is not None:

@@ -1,16 +1,18 @@
-"""Lockstep oracle: the naive engine as ground truth for the active one.
+"""Lockstep oracle: the naive engine as ground truth for the others.
 
 PR 2 replaced tick-everything scheduling with an active-set engine whose
 park/wake bookkeeping is the single most bug-prone piece of the simulator:
 a component that parks one cycle too long produces timing that is subtly —
-not obviously — wrong, and the covert channel *is* timing.  The oracle
-makes the equivalence claim checkable for any config and workload: it
-builds the same device twice, once per engine strategy, steps both in
-lockstep, and compares per-component :meth:`state_digest` snapshots every
-``compare_every`` cycles.
+not obviously — wrong, and the covert channel *is* timing.  The vector
+engine raises the stakes again (batched mux transfers, SoA write-through,
+reactive SM parking).  The oracle makes the equivalence claim checkable
+for any config and workload: it builds the same device once per engine
+strategy, steps them all in lockstep, and compares per-component
+:meth:`state_digest` snapshots every ``compare_every`` cycles, each
+strategy against the first (the baseline).
 
 On a mismatch it does not just say "diverged somewhere before cycle N": it
-rebuilds a fresh device pair (seeded runs are deterministic, so a rebuild
+rebuilds a fresh device set (seeded runs are deterministic, so a rebuild
 replays identically), fast-forwards to the last matching checkpoint, and
 re-steps one cycle at a time to pin the **first** divergent cycle and the
 first divergent component in registration (pipeline) order.
@@ -20,9 +22,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..config import GpuConfig
+from ..config import ENGINE_STRATEGIES, GpuConfig
 from ..gpu.device import GpuDevice
 
 #: A stimulus launches work on a freshly built device (kernels, preloads).
@@ -30,26 +32,37 @@ from ..gpu.device import GpuDevice
 #: produce the same launches for the lockstep comparison to be meaningful.
 Stimulus = Callable[[GpuDevice], None]
 
+#: Default strategy set: baseline first, then the strategies under test.
+DEFAULT_STRATEGIES: Tuple[str, ...] = ("naive", "active")
+
 
 @dataclass
 class Divergence:
-    """First point where the two engine strategies disagree."""
+    """First point where two engine strategies disagree.
+
+    ``naive_digest``/``active_digest`` keep their PR-2 names for
+    back-compat; they hold the baseline strategy's digest and the
+    divergent strategy's digest respectively (see ``baseline`` /
+    ``strategy`` for which strategies those actually were).
+    """
 
     cycle: int
     component: str
     naive_digest: object
     active_digest: object
+    baseline: str = "naive"
+    strategy: str = "active"
 
     def __str__(self) -> str:
         return (
             f"engines diverged at cycle {self.cycle} in "
-            f"{self.component}: naive={self.naive_digest!r} "
-            f"active={self.active_digest!r}"
+            f"{self.component}: {self.baseline}={self.naive_digest!r} "
+            f"{self.strategy}={self.active_digest!r}"
         )
 
 
 class LockstepOracle:
-    """Runs one config under both engine strategies and compares state.
+    """Runs one config under several engine strategies and compares state.
 
     Parameters
     ----------
@@ -61,6 +74,11 @@ class LockstepOracle:
         Coarse checkpoint interval.  Larger values are cheaper (digests
         are the expensive part) without losing precision — the bisection
         pass recovers the exact cycle.
+    strategies:
+        Engine strategies to run in lockstep; the first is the baseline
+        every other strategy is compared against.  Defaults to the PR-2
+        pair ``("naive", "active")``; pass all of
+        :data:`~repro.config.ENGINE_STRATEGIES` for a three-way check.
     """
 
     def __init__(
@@ -69,13 +87,20 @@ class LockstepOracle:
         stimulus: Optional[Stimulus] = None,
         compare_every: int = 64,
         l1_enabled: bool = False,
+        strategies: Sequence[str] = DEFAULT_STRATEGIES,
     ) -> None:
         if compare_every <= 0:
             raise ValueError("compare_every must be positive")
+        if len(strategies) < 2:
+            raise ValueError("lockstep needs at least two strategies")
+        for strategy in strategies:
+            if strategy not in ENGINE_STRATEGIES:
+                raise ValueError(f"unknown engine strategy {strategy!r}")
         self.config = config
         self.stimulus = stimulus
         self.compare_every = compare_every
         self.l1_enabled = l1_enabled
+        self.strategies = tuple(strategies)
 
     # ------------------------------------------------------------------ #
     def _build(self, strategy: str) -> GpuDevice:
@@ -85,16 +110,28 @@ class LockstepOracle:
             self.stimulus(device)
         return device
 
-    @staticmethod
+    def _build_all(self) -> List[GpuDevice]:
+        return [self._build(strategy) for strategy in self.strategies]
+
     def _compare(
-        naive: GpuDevice, active: GpuDevice
-    ) -> Optional[Tuple[str, object, object]]:
-        """First (name, naive_digest, active_digest) mismatch, or None."""
-        for a, b in zip(naive.engine.components, active.engine.components):
-            da = a.state_digest()
-            db = b.state_digest()
-            if da != db:
-                return (a.name, da, db)
+        self, devices: List[GpuDevice]
+    ) -> Optional[Tuple[str, object, object, str]]:
+        """First mismatch against the baseline device, or None.
+
+        Returns ``(component_name, baseline_digest, other_digest,
+        other_strategy)``.  Components are compared positionally — every
+        strategy builds the identical pipeline in the identical
+        registration order.
+        """
+        baseline = devices[0]
+        base_digests: List[object] = []
+        for component in baseline.engine.components:
+            base_digests.append(component.state_digest())
+        for device, strategy in zip(devices[1:], self.strategies[1:]):
+            for da, b in zip(base_digests, device.engine.components):
+                db = b.state_digest()
+                if da != db:
+                    return (b.name, da, db, strategy)
         return None
 
     # ------------------------------------------------------------------ #
@@ -103,51 +140,53 @@ class LockstepOracle:
 
         Returns None when every checkpoint (and the final state) matched,
         or a :class:`Divergence` pinpointing the first bad cycle.  Stops
-        early once both devices report all streams drained — after one
+        early once all devices report all streams drained — after one
         final checkpoint on the drained state.
         """
-        naive = self._build("naive")
-        active = self._build("active")
+        devices = self._build_all()
         cycle = 0
         last_good = 0
         while cycle < max_cycles:
             step = min(self.compare_every, max_cycles - cycle)
-            naive.engine.step(step)
-            active.engine.step(step)
+            for device in devices:
+                device.engine.step(step)
             cycle += step
-            mismatch = self._compare(naive, active)
+            mismatch = self._compare(devices)
             if mismatch is not None:
                 return self._bisect(last_good, cycle)
             last_good = cycle
-            if naive.scheduler.all_idle and active.scheduler.all_idle:
+            if all(device.scheduler.all_idle for device in devices):
                 break
         return None
 
     def _bisect(self, good_cycle: int, bad_cycle: int) -> Divergence:
-        """Replay a fresh pair and pin the first divergent cycle.
+        """Replay a fresh device set and pin the first divergent cycle.
 
         Valid because every source of randomness is seeded from the
         config: the rebuilt devices retrace the original run exactly.
         """
-        naive = self._build("naive")
-        active = self._build("active")
+        devices = self._build_all()
         if good_cycle:
-            naive.engine.step(good_cycle)
-            active.engine.step(good_cycle)
+            for device in devices:
+                device.engine.step(good_cycle)
         cycle = good_cycle
         while cycle < bad_cycle:
-            naive.engine.step(1)
-            active.engine.step(1)
+            for device in devices:
+                device.engine.step(1)
             cycle += 1
-            mismatch = self._compare(naive, active)
+            mismatch = self._compare(devices)
             if mismatch is not None:
-                name, da, db = mismatch
-                return Divergence(cycle, name, da, db)
+                name, da, db, strategy = mismatch
+                return Divergence(
+                    cycle, name, da, db,
+                    baseline=self.strategies[0], strategy=strategy,
+                )
         # The coarse pass diverged but the replay did not: the model has
         # hidden nondeterminism, which is itself a bug worth naming.
         return Divergence(
             bad_cycle, "<nondeterministic>",
             "replay matched", "original run diverged",
+            baseline=self.strategies[0], strategy="<any>",
         )
 
 
@@ -156,7 +195,10 @@ def verify_equivalence(
     stimulus: Optional[Stimulus] = None,
     max_cycles: int = 200_000,
     compare_every: int = 64,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
 ) -> Optional[Divergence]:
     """One-shot helper: run the oracle, return its verdict."""
-    oracle = LockstepOracle(config, stimulus, compare_every=compare_every)
+    oracle = LockstepOracle(
+        config, stimulus, compare_every=compare_every, strategies=strategies
+    )
     return oracle.run(max_cycles=max_cycles)

@@ -18,7 +18,24 @@ from repro.config import medium_config, small_config
 from repro.gpu.device import GpuDevice
 from repro.gpu.kernel import Kernel
 from repro.gpu.warp import MemOp, READ, WaitCycles
-from repro.sim.engine import FOREVER, Component, Engine
+from repro.sim.engine import FOREVER, Component, Engine, create_engine
+
+try:
+    import numpy  # noqa: F401
+
+    _HAS_NUMPY = True
+except ImportError:
+    _HAS_NUMPY = False
+
+#: The optimised strategies, each compared against the naive baseline.
+#: ``vector`` is skipped (not failed) when its numpy extra is missing.
+OPTIMIZED = [
+    "active",
+    pytest.param("vector", marks=pytest.mark.skipif(
+        not _HAS_NUMPY, reason="vector strategy requires numpy"
+    )),
+]
+ALL_STRATEGIES = ["naive"] + OPTIMIZED
 
 
 def _channel_fingerprint(config):
@@ -41,17 +58,22 @@ def _gpc_fingerprint(config):
 
 
 class TestCycleExactness:
-    def test_tpc_channel_identical_small(self):
+    @pytest.mark.parametrize("strategy", OPTIMIZED)
+    def test_tpc_channel_identical_small(self, strategy):
         naive = _channel_fingerprint(small_config(engine_strategy="naive"))
-        active = _channel_fingerprint(small_config(engine_strategy="active"))
-        assert naive == active
+        other = _channel_fingerprint(
+            small_config(engine_strategy=strategy)
+        )
+        assert naive == other
 
-    def test_gpc_channel_identical_medium(self):
+    @pytest.mark.parametrize("strategy", OPTIMIZED)
+    def test_gpc_channel_identical_medium(self, strategy):
         naive = _gpc_fingerprint(medium_config(engine_strategy="naive"))
-        active = _gpc_fingerprint(medium_config(engine_strategy="active"))
-        assert naive == active
+        other = _gpc_fingerprint(medium_config(engine_strategy=strategy))
+        assert naive == other
 
-    def test_device_counters_identical(self):
+    @pytest.mark.parametrize("strategy", OPTIMIZED)
+    def test_device_counters_identical(self, strategy):
         def run(strategy):
             config = small_config(engine_strategy=strategy)
             device = GpuDevice(config)
@@ -65,20 +87,21 @@ class TestCycleExactness:
             device.run()
             return device.engine.cycle, device.stats.snapshot()
 
-        assert run("naive") == run("active")
+        assert run("naive") == run(strategy)
 
-    def test_fig9_trace_identical(self):
+    @pytest.mark.parametrize("strategy", OPTIMIZED)
+    def test_fig9_trace_identical(self, strategy):
         from repro.analysis.figures import fig9_latency_trace
 
         naive = fig9_latency_trace(
             small_config(engine_strategy="naive"), with_sync=True,
             num_bits=12,
         )
-        active = fig9_latency_trace(
-            small_config(engine_strategy="active"), with_sync=True,
+        other = fig9_latency_trace(
+            small_config(engine_strategy=strategy), with_sync=True,
             num_bits=12,
         )
-        assert naive == active
+        assert naive == other
 
 
 class TestFastForward:
@@ -176,17 +199,17 @@ class TestFastForward:
 
 
 class TestRunUntil:
-    @pytest.mark.parametrize("strategy", ["naive", "active"])
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
     def test_timeout_cap_is_exact(self, strategy):
-        engine = Engine(strategy=strategy)
+        engine = create_engine(strategy)
         with pytest.raises(TimeoutError):
             engine.run_until(lambda: False, max_cycles=1000, check_every=64)
         # 1000 is not a multiple of 64: the final step must be clamped.
         assert engine.cycle == 1000
 
-    @pytest.mark.parametrize("strategy", ["naive", "active"])
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
     def test_condition_checked_before_first_step(self, strategy):
-        engine = Engine(strategy=strategy)
+        engine = create_engine(strategy)
         final = engine.run_until(lambda: True, max_cycles=10)
         assert final == 0
         assert engine.cycle == 0

@@ -1,0 +1,261 @@
+"""Vectorized batch engine: cycle-exactness, batching, and gating.
+
+The vector strategy layers three optimisations over active-set
+scheduling — struct-of-arrays queue mirrors with batched mux-bank
+dispatch, lazy sole-contender packet batching, and reactive SM parking —
+each of which must be *invisible* in simulated behaviour.  These tests
+pin that down:
+
+* channel fingerprints are bit-identical to ``naive`` with batching
+  actually engaged (telemetry and validation off) and with it gated off
+  (observers on);
+* the three-way lockstep oracle and a quick three-way fuzz budget pass;
+* ``engine_strategy="vector"`` without numpy raises a clear
+  :class:`~repro.config.ConfigError` — never a silent fallback.
+"""
+
+import sys
+
+import pytest
+
+from repro.config import (
+    ConfigError,
+    ENGINE_STRATEGIES,
+    GpuConfig,
+    small_config,
+)
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import Kernel
+from repro.gpu.warp import MemOp, READ, WRITE
+from repro.sim.engine import FOREVER, create_engine
+
+numpy = pytest.importorskip("numpy", exc_type=ImportError)
+
+from repro.noc.buffer import PacketQueue  # noqa: E402
+from repro.noc.soa import MuxBank, SoaMirror  # noqa: E402
+from repro.sim.vector import VectorEngine  # noqa: E402
+
+
+def _channel_fingerprint(config):
+    from repro.channel import TpcCovertChannel
+
+    channel = TpcCovertChannel(config)
+    channel.calibrate()
+    bits = [i % 2 for i in range(16)]
+    result = channel.transmit(bits)
+    return result.cycles, result.received_symbols, result.measurements
+
+
+class TestBitIdentical:
+    def test_batching_engaged_matches_naive(self):
+        # Default small config: no telemetry, no validation — the lazy
+        # sole-contender mux batching is armed on the TPC tier.
+        config = small_config()
+        assert not config.telemetry_enabled and not config.validate_enabled
+        naive = _channel_fingerprint(config.replace(engine_strategy="naive"))
+        vector = _channel_fingerprint(
+            config.replace(engine_strategy="vector")
+        )
+        assert naive == vector
+
+    def test_observers_on_matches_naive(self):
+        # Telemetry + validation force the per-flit scalar semantics
+        # (batching gated off); the sparse tick must still be exact.
+        config = small_config(
+            telemetry_enabled=True, validate_enabled=True
+        )
+        naive = _channel_fingerprint(config.replace(engine_strategy="naive"))
+        vector = _channel_fingerprint(
+            config.replace(engine_strategy="vector")
+        )
+        assert naive == vector
+
+    @pytest.mark.parametrize("reply_voq", [False, True])
+    def test_mixed_read_write_counters(self, reply_voq):
+        def run(strategy):
+            config = small_config(
+                engine_strategy=strategy, reply_voq=reply_voq
+            )
+            device = GpuDevice(config)
+
+            def reader(ctx):
+                for i in range(24):
+                    yield MemOp(READ, [i * 128])
+
+            def writer(ctx):
+                for i in range(24):
+                    yield MemOp(WRITE, [i * 256])
+
+            device.launch(Kernel(reader, num_blocks=3, warps_per_block=2,
+                                 name="reader"))
+            device.launch(Kernel(writer, num_blocks=3, warps_per_block=2,
+                                 name="writer"))
+            device.run()
+            return device.engine.cycle, device.stats.snapshot()
+
+        assert run("naive") == run("vector")
+
+
+class TestOracleAndFuzz:
+    def test_three_way_lockstep_oracle(self):
+        from repro.validate.oracle import verify_equivalence
+
+        config = small_config()
+
+        def stimulus(device):
+            def program(ctx):
+                for i in range(16):
+                    yield MemOp(WRITE, [i * 128])
+
+            device.launch(Kernel(program, num_blocks=4, warps_per_block=2,
+                                 name="writer"))
+
+        divergence = verify_equivalence(
+            config, stimulus, max_cycles=20_000,
+            strategies=ENGINE_STRATEGIES,
+        )
+        assert divergence is None, str(divergence)
+
+    def test_three_way_quick_fuzz(self):
+        from repro.validate.fuzz import fuzz
+
+        report = fuzz(runs=3, seed=9100, oracle_cycles=4_000,
+                      strategies=ENGINE_STRATEGIES)
+        assert report.ok, [case.failure for case in report.failures]
+
+
+class TestNumpyGating:
+    def test_missing_numpy_raises_config_error(self, monkeypatch):
+        # Simulate an environment without the optional extra: the vector
+        # module's import machinery sees an ImportError.
+        monkeypatch.delitem(sys.modules, "repro.sim.vector", raising=False)
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        with pytest.raises(ConfigError, match="requires numpy"):
+            create_engine("vector")
+
+    def test_missing_numpy_fails_at_device_build(self, monkeypatch):
+        monkeypatch.delitem(sys.modules, "repro.sim.vector", raising=False)
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        with pytest.raises(ConfigError, match="requires numpy"):
+            GpuDevice(small_config(engine_strategy="vector"))
+
+    def test_strategy_validated_in_config(self):
+        assert "vector" in ENGINE_STRATEGIES
+        with pytest.raises(ValueError):
+            GpuConfig(engine_strategy="simd")
+
+
+class TestVectorEngineScheduling:
+    def test_timer_and_fast_forward(self):
+        from repro.sim.engine import Component
+
+        class Parked(Component):
+            def __init__(self):
+                self.ticks = []
+
+            def tick(self, cycle):
+                self.ticks.append(cycle)
+
+            def idle_until(self, cycle):
+                return 100 if cycle < 100 else FOREVER
+
+        parked = Parked()
+        engine = create_engine("vector")
+        engine.register(parked)
+        engine.step(200)
+        assert parked.ticks == [0, 100]
+        assert engine.fast_forwarded_cycles > 0
+
+    def test_mid_cycle_wake_ordering(self):
+        # A wake targeting an index *behind* the scan position lands next
+        # cycle; one *ahead* of it lands in the same cycle — matching the
+        # active strategy's in-cycle pipeline ordering exactly.
+        from repro.sim.engine import Component
+
+        log = []
+
+        class Waker(Component):
+            name = "waker"
+
+            def __init__(self):
+                self.fired = False
+
+            def tick(self, cycle):
+                log.append(("waker", cycle))
+                if not self.fired:
+                    self.fired = True
+                    downstream.wake()
+                    upstream.wake()
+
+            def idle_until(self, cycle):
+                return FOREVER
+
+        class Quiet(Component):
+            def __init__(self, name):
+                self.name = name
+
+            def tick(self, cycle):
+                log.append((self.name, cycle))
+
+            def idle_until(self, cycle):
+                return FOREVER
+
+        upstream = Quiet("upstream")
+        waker = Waker()
+        downstream = Quiet("downstream")
+        engine = create_engine("vector")
+        engine.register(upstream)
+        engine.register(waker)
+        engine.register(downstream)
+        engine.step(3)
+        ticks = [entry for entry in log if entry[0] != "waker"]
+        assert ("downstream", 0) in ticks  # woken ahead: same cycle
+        assert ("upstream", 1) in ticks    # woken behind: next cycle
+        assert ("upstream", 0) in ticks    # initial activation
+
+
+class TestSoaMirror:
+    def _queue(self, name, capacity=8):
+        return PacketQueue(name, capacity)
+
+    def test_write_through_tracks_occupancy(self):
+        from repro.noc.packet import Packet
+
+        queues = [self._queue("q0"), self._queue("q1")]
+        mirror = SoaMirror(queues)
+        packet = Packet(kind=READ, address=0, flits=2, src_sm=0,
+                        slice_id=0)
+        queues[0].push(packet)
+        assert mirror.q_len[mirror.index_of(queues[0])] == 1
+        queues[0].pop()
+        assert mirror.q_len[mirror.index_of(queues[0])] == 0
+
+    def test_double_mirror_rejected(self):
+        queues = [self._queue("q0")]
+        SoaMirror(queues)
+        with pytest.raises(ValueError):
+            SoaMirror(queues)
+
+    def test_bank_requires_contiguous_registration(self):
+        from repro.noc.arbiter import make_policy
+        from repro.noc.mux import Mux
+
+        queues = [self._queue(f"in{i}") for i in range(4)]
+        out = self._queue("out", capacity=32)
+        mirror = SoaMirror(queues + [out])
+        muxes = [
+            Mux(f"m{i}", [queues[2 * i], queues[2 * i + 1]], out, 1,
+                make_policy("rr", 2))
+            for i in range(2)
+        ]
+        engine = VectorEngine()
+        engine.register(muxes[0])
+        gap = create_engine("naive")  # unrelated engine, not a component
+        assert gap is not None
+        filler = Mux("filler", [self._queue("fx"), self._queue("fy")],
+                     self._queue("fout", capacity=32), 1,
+                     make_policy("rr", 2))
+        engine.register(filler)
+        engine.register(muxes[1])
+        with pytest.raises(ValueError):
+            engine.register_bank(MuxBank("bank", mirror, muxes))
