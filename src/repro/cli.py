@@ -11,6 +11,7 @@ Gives downstream users a zero-code way to run the paper's experiments::
     python -m repro fig15                   # arbitration countermeasures
     python -m repro table2                  # measured channel summary
     python -m repro bench                   # engine strategy benchmark
+    python -m repro metrics                 # metrics-plane exposition
     python -m repro trace --figure fig5     # Perfetto trace of a run
     python -m repro fuzz --quick            # randomized integrity fuzzing
     python -m repro chaos --quick           # fault-injection sweep drill
@@ -30,6 +31,13 @@ sweep under per-job supervision (``repro.runner.supervisor``): hung
 workers are killed and retried, crashes become structured failure
 records instead of aborting the sweep, and completed points checkpoint
 to a journal that ``--resume`` replays after a crash or Ctrl-C.
+``--progress`` renders a live single-line status (done/total, cache
+hits, retries, per-worker elapsed) on stderr.
+
+``python -m repro metrics`` runs a small instrumented sweep and prints
+its Prometheus exposition; ``python -m repro bench`` appends every run
+to ``BENCH_history.jsonl`` and ``--check-history`` turns a >20%
+throughput drop versus the trailing median into exit code 3.
 """
 
 from __future__ import annotations
@@ -170,6 +178,15 @@ def _sweep_cache(args):
     return None if args.no_cache else ResultCache()
 
 
+def _progress_renderer(args, name, total):
+    """A live ``SweepProgress`` renderer when ``--progress`` was given."""
+    if not getattr(args, "progress", False):
+        return None
+    from .metrics import SweepProgress
+
+    return SweepProgress(name, total=total)
+
+
 def _run_sweep(args, jobs, name):
     """Run a CLI sweep, engaging supervision when any flag asks for it.
 
@@ -177,19 +194,29 @@ def _run_sweep(args, jobs, name):
     removed, failures as structured ``JobFailure`` records.  With
     ``--resume`` (or ``--journal``) completed points checkpoint to an
     append-only JSONL journal — default ``.repro_sweeps/<name>.jsonl``
-    — and a rerun replays them instead of re-simulating.
+    — and a rerun replays them instead of re-simulating.  ``--progress``
+    attaches a live single-line renderer (per-worker state needs the
+    supervised event stream; the legacy path shows done/total only).
     """
     from .config import SweepSupervision
     from .runner import JobFailure, run_jobs
     from .runner.journal import SweepJournal, default_journal_path
 
+    renderer = _progress_renderer(args, name, len(jobs))
     supervised = (
         args.timeout is not None or args.retries is not None
         or args.keep_going or args.resume or args.journal is not None
     )
     if not supervised:
-        return run_jobs(jobs, workers=args.workers,
-                        cache=_sweep_cache(args)), []
+        try:
+            rows = run_jobs(
+                jobs, workers=args.workers, cache=_sweep_cache(args),
+                progress=renderer.progress if renderer else None,
+            )
+        finally:
+            if renderer is not None:
+                renderer.close()
+        return rows, []
 
     policy = SweepSupervision.from_env()
     if args.timeout is not None:
@@ -199,11 +226,17 @@ def _run_sweep(args, jobs, name):
     journal_path = args.journal or default_journal_path(name)
     from .runner import run_supervised
 
-    with SweepJournal(journal_path) as journal:
-        outcome = run_supervised(
-            jobs, workers=args.workers, cache=_sweep_cache(args),
-            policy=policy, journal=journal, resume=args.resume,
-        )
+    try:
+        with SweepJournal(journal_path) as journal:
+            outcome = run_supervised(
+                jobs, workers=args.workers, cache=_sweep_cache(args),
+                policy=policy, journal=journal, resume=args.resume,
+                progress=renderer.progress if renderer else None,
+                on_event=renderer.on_event if renderer else None,
+            )
+    finally:
+        if renderer is not None:
+            renderer.close()
     counters = outcome.counters
     replays = counters.get("journal_replays", 0)
     if replays:
@@ -314,13 +347,62 @@ def cmd_table2(args) -> int:
     return 1 if failures else 0
 
 
+def _bench_history(args, report) -> int:
+    """Check the report against BENCH_history.jsonl, then append it.
+
+    The check runs *before* the append so the baseline never includes
+    the run under test.  Prints the advisory result; returns 3 when
+    ``--check-history`` was given and a throughput fell more than the
+    threshold below its trailing median, 0 otherwise.
+    """
+    from .metrics.history import (
+        HISTORY_FILE,
+        append_history,
+        bench_record,
+        check_history,
+    )
+
+    path = args.history_file or HISTORY_FILE
+    check = check_history(report, path=path, scale=args.scale)
+    append_history(bench_record(report, scale=args.scale), path=path)
+    for line in check.lines():
+        print(line)
+    if args.check_history and not check.ok:
+        return 3
+    return 0
+
+
 def cmd_bench(args) -> int:
+    import json as _json
+
     from .runner import bench_engine
+
+    if args.from_report:
+        # Re-check an existing report against the history without
+        # re-benchmarking (the CI warn-only step): no append, since the
+        # report's own run already appended itself.
+        from .metrics.history import HISTORY_FILE, check_history
+
+        with open(args.from_report, "r", encoding="utf-8") as handle:
+            report = _json.load(handle)
+        check = check_history(
+            report, path=args.history_file or HISTORY_FILE,
+            scale=args.scale,
+        )
+        for line in check.lines():
+            print(line)
+        return 3 if args.check_history and not check.ok else 0
+
+    on_phase = None
+    if args.progress:
+        def on_phase(label: str) -> None:
+            print(f"bench: {label}", file=sys.stderr, flush=True)
 
     config = _config(args)
     report = bench_engine(
         config, num_bits=args.bits,
         output=None if args.no_output else args.output,
+        on_phase=on_phase,
     )
     for name, entry in report["workloads"].items():
         line = (
@@ -352,6 +434,15 @@ def cmd_bench(args) -> int:
         f"on     {telemetry['enabled_wall_s']:7.3f}s  "
         f"overhead {telemetry['overhead_frac'] * 100:+.1f}%"
     )
+    metrics = report.get("metrics")
+    if metrics:
+        print(
+            f"metrics      off {metrics['disabled_wall_s']:7.3f}s  "
+            f"on     {metrics['enabled_wall_s']:7.3f}s  "
+            f"overhead {metrics['overhead_frac'] * 100:+.1f}% "
+            f"({metrics['strategy']}, budget "
+            f"{metrics['budget_frac'] * 100:.0f}%)"
+        )
     supervision = report.get("supervision")
     if supervision:
         print(
@@ -361,7 +452,75 @@ def cmd_bench(args) -> int:
         )
     if "output" in report:
         print(f"wrote {report['output']}")
+    if not args.no_history:
+        return _bench_history(args, report)
     return 0
+
+
+def cmd_metrics(args) -> int:
+    """Run an instrumented sweep and emit its metrics.
+
+    Runs a small supervised fig10-style sweep with ``metrics_enabled``
+    (engine self-profiling) so one command demonstrates the whole
+    metrics plane: supervision counters, engine profiles merged across
+    fresh jobs, Prometheus text on stdout and — with ``--json`` — the
+    mergeable JSON manifest.  ``--merge`` skips the sweep and instead
+    folds previously written manifest files (worker shards) into one
+    exposition.
+    """
+    import json as _json
+
+    from .metrics import MetricsRegistry, render_manifest_prometheus
+
+    registry = MetricsRegistry()
+    ok = True
+    if args.merge:
+        for path in args.merge:
+            with open(path, "r", encoding="utf-8") as handle:
+                registry.merge_manifest(_json.load(handle))
+    else:
+        from .config import SweepSupervision
+        from .runner import SimJob, merge_metrics, run_supervised
+
+        config = _config(args).replace(metrics_enabled=True)
+        jobs = [
+            SimJob(
+                fn="repro.runner.workloads.fig10_point",
+                config=config,
+                params={
+                    "kind": "tpc",
+                    "iteration_count": count,
+                    "bits_per_channel": args.bits,
+                    "seed": 3021 + index,
+                },
+            )
+            for index, count in enumerate(args.iterations)
+        ]
+        renderer = _progress_renderer(args, "metrics", len(jobs))
+        try:
+            outcome = run_supervised(
+                jobs, workers=args.workers,
+                policy=SweepSupervision.from_env(),
+                progress=renderer.progress if renderer else None,
+                on_event=renderer.on_event if renderer else None,
+                metrics=registry,
+            )
+        finally:
+            if renderer is not None:
+                renderer.close()
+        ok = outcome.ok
+        engine = merge_metrics(outcome.results, fresh=outcome.fresh)
+        if engine is not None:
+            registry.merge_manifest(engine)
+        for failure in outcome.failures:
+            print(f"FAILED {failure}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(registry.to_manifest(), handle, indent=2,
+                       sort_keys=True)
+        print(f"wrote {args.json}", file=sys.stderr)
+    sys.stdout.write(render_manifest_prometheus(registry.to_manifest()))
+    return 0 if ok else 1
 
 
 def cmd_trace(args) -> int:
@@ -493,6 +652,10 @@ def cmd_chaos(args) -> int:
         with open(args.manifest, "w", encoding="utf-8") as handle:
             _json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         print(f"wrote {args.manifest}")
+    if args.metrics and report.metrics is not None:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            _json.dump(report.metrics, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.metrics}")
     print("chaos drill: " + ("OK" if report.ok else "FAILED"))
     return 0 if report.ok else 1
 
@@ -702,6 +865,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="sweep journal path (default: .repro_sweeps/<sweep>.jsonl "
                  "or $REPRO_JOURNAL_DIR)",
         )
+        sweep.add_argument(
+            "--progress", action="store_true",
+            help="live single-line sweep progress on stderr (per-worker "
+                 "detail when supervision is engaged)",
+        )
 
     bench = sub.add_parser(
         "bench", help="time the naive vs active-set engine strategies"
@@ -712,6 +880,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="report file (default: BENCH_engine.json)")
     bench.add_argument("--no-output", action="store_true",
                        help="print the summary without writing the report")
+    bench.add_argument("--progress", action="store_true",
+                       help="print each benchmark phase as it starts")
+    bench.add_argument(
+        "--history-file", default=None, metavar="FILE",
+        help="bench trajectory file (default: BENCH_history.jsonl)",
+    )
+    bench.add_argument(
+        "--no-history", action="store_true",
+        help="skip the BENCH_history.jsonl check-and-append",
+    )
+    bench.add_argument(
+        "--check-history", action="store_true",
+        help="exit 3 if any throughput falls >20%% below the trailing "
+             "median of comparable prior runs (same config and host)",
+    )
+    bench.add_argument(
+        "--from-report", default=None, metavar="FILE",
+        help="skip benchmarking; re-check an existing report JSON "
+             "against the history (no append)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run an instrumented sweep and emit Prometheus text plus "
+             "an optional JSON metrics manifest",
+    )
+    metrics.add_argument("--iterations", type=int, nargs="+",
+                         default=[1, 2, 3],
+                         help="fig10-style iteration counts to sweep")
+    metrics.add_argument("--bits", type=int, default=8,
+                         help="payload bits per sweep point")
+    metrics.add_argument("--workers", type=int, default=None,
+                         help="supervised worker processes")
+    metrics.add_argument("--json", default=None, metavar="FILE",
+                         help="also write the mergeable JSON manifest")
+    metrics.add_argument(
+        "--merge", nargs="+", default=None, metavar="FILE",
+        help="skip the sweep; merge these manifest files (shards) and "
+             "render the combined exposition",
+    )
+    metrics.add_argument("--progress", action="store_true",
+                         help="live sweep progress on stderr")
 
     trace = sub.add_parser(
         "trace",
@@ -778,6 +988,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="CI smoke budget: fewer jobs, tighter timeout")
     chaos.add_argument("--quiet", action="store_true",
                        help="suppress the live progress line")
+    chaos.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write the chaos sweep's labeled metrics manifest as JSON "
+             "(mergeable via 'python -m repro metrics --merge')",
+    )
 
     golden = sub.add_parser(
         "golden",
@@ -842,6 +1057,7 @@ COMMANDS = {
     "fig15": cmd_fig15,
     "table2": cmd_table2,
     "bench": cmd_bench,
+    "metrics": cmd_metrics,
     "trace": cmd_trace,
     "fuzz": cmd_fuzz,
     "chaos": cmd_chaos,

@@ -351,6 +351,19 @@ class GpuConfig:
     #: Cycles per utilization/occupancy timeline epoch.
     telemetry_epoch_cycles: int = 64
 
+    #: Engine self-profiling (repro.metrics): sampled active-set sizes,
+    #: fast-forward span histogram, mux-bank dispatch widths and
+    #: sole-contender batch lengths, exported through the per-process
+    #: metrics registry.  Off by default; the profiler only *reads*
+    #: scheduler state, so seeded runs stay bit-identical with it on
+    #: (the lockstep oracle verifies this) and the disabled configuration
+    #: costs one branch per hook site.
+    metrics_enabled: bool = False
+    #: Cycles between active-set size samples.  Sampling (rather than
+    #: recording every cycle) is what keeps enabled overhead under the
+    #: 2% acceptance bar at full-Volta scale.
+    metrics_interval: int = 64
+
     # ------------------------------------------------------------------ #
     # Derived quantities.
     # ------------------------------------------------------------------ #
@@ -372,6 +385,8 @@ class GpuConfig:
             )
         if self.validate_interval <= 0:
             raise ValueError("validate_interval must be positive")
+        if self.metrics_interval <= 0:
+            raise ValueError("metrics_interval must be positive")
 
     @property
     def num_tpcs(self) -> int:

@@ -61,9 +61,14 @@ class GpuDevice:
         )
         #: Struct-of-arrays occupancy mirror; None unless vector strategy.
         self.soa_mirror = None
+        #: Engine self-profiler (repro.metrics); None unless
+        #: ``config.metrics_enabled``.
+        self.profiler = None
         self._build(l1_enabled)
         if self.telemetry is not None:
             self._attach_telemetry()
+        if config.metrics_enabled:
+            self._attach_profiler()
         #: Conservation checker; None unless ``config.validate_enabled``.
         #: Imported lazily so the validate package (which builds devices
         #: for its lockstep oracle) never forms an import cycle.
@@ -450,6 +455,36 @@ class GpuDevice:
         self.engine.register(TimelineProbe(hub.timeline))
         self.engine.on_fast_forward = hub.note_fast_forward
 
+    def _attach_profiler(self) -> None:
+        """Wire a sampled engine self-profiler (``config.metrics_enabled``).
+
+        Unlike the telemetry tracer the profiler never needs per-flit
+        visibility — it observes folded batch spans at materialisation
+        time — so it composes with vector batching.  It only *reads*
+        scheduler state: seeded runs stay bit-identical with it on.
+        """
+        from ..metrics.profile import EngineProfiler
+
+        config = self.config
+        self.profiler = EngineProfiler(
+            interval=config.metrics_interval,
+            strategy=config.engine_strategy,
+        )
+        self.engine.profiler = self.profiler
+        for mux in self.tpc_muxes:
+            mux._profiler = self.profiler
+        for mux in self.gpc_muxes:
+            mux._profiler = self.profiler
+        if config.reply_voq:
+            for mux in self.reply_muxes:
+                mux._profiler = self.profiler
+
+    def metrics_manifest(self) -> Optional[Dict]:
+        """JSON-safe engine-profile metrics, or None when disabled."""
+        if self.profiler is None:
+            return None
+        return self.profiler.manifest()
+
     def telemetry_manifest(self) -> Optional[Dict]:
         """JSON-safe telemetry summary, or None when telemetry is off."""
         if self.telemetry is None:
@@ -481,6 +516,8 @@ class GpuDevice:
         self.clocks.reset()
         if self.telemetry is not None:
             self.telemetry.reset()
+        if self.profiler is not None:
+            self.profiler.reset()
 
     # ------------------------------------------------------------------ #
     # Public API.

@@ -1,0 +1,62 @@
+"""The per-process metrics plane.
+
+Labeled counters / gauges / samplers / histograms in a mergeable
+registry (:mod:`.registry`), Prometheus text exposition
+(:mod:`.exposition`), sampled engine self-profiling (:mod:`.profile`),
+live sweep progress rendering (:mod:`.progress`), and bench-trajectory
+history with trailing-median regression detection (:mod:`.history`).
+
+This plane is deliberately distinct from :mod:`repro.telemetry`:
+telemetry records *simulated* events inside one GPU model (flit
+lifecycles, cycle-stamped timelines); metrics record what the *service*
+around the simulator did (jobs, retries, cache hits, profiler samples)
+and aggregate across worker shards.
+"""
+
+from .exposition import render_manifest_prometheus, render_prometheus
+from .history import (
+    DEFAULT_THRESHOLD,
+    DEFAULT_WINDOW,
+    HISTORY_FILE,
+    HistoryCheck,
+    Regression,
+    append_history,
+    bench_config_hash,
+    bench_record,
+    check_history,
+    host_fingerprint,
+    load_history,
+)
+from .profile import DEFAULT_INTERVAL, EngineProfiler
+from .progress import SweepProgress
+from .registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    get_registry,
+    scoped_registry,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_INTERVAL",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_WINDOW",
+    "EngineProfiler",
+    "Gauge",
+    "HISTORY_FILE",
+    "HistoryCheck",
+    "MetricsRegistry",
+    "Regression",
+    "SweepProgress",
+    "append_history",
+    "bench_config_hash",
+    "bench_record",
+    "check_history",
+    "get_registry",
+    "host_fingerprint",
+    "load_history",
+    "render_manifest_prometheus",
+    "render_prometheus",
+    "scoped_registry",
+]

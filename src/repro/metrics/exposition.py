@@ -1,0 +1,133 @@
+"""Prometheus text exposition for :class:`MetricsRegistry`.
+
+Renders the registry in the Prometheus text format (version 0.0.4):
+``# HELP``/``# TYPE`` headers followed by one sample line per series.
+Kind mapping:
+
+* counter → ``counter``
+* gauge → ``gauge``
+* sampler → ``summary`` (``_count`` and ``_sum`` lines; quantiles are
+  not tracked by :class:`~repro.sim.stats.Sampler`, so none are emitted)
+* histogram → ``histogram`` (cumulative ``_bucket{le=...}`` lines, the
+  mandatory ``+Inf`` bucket, ``_sum`` and ``_count``)
+
+Fixed-width simulator histograms carry hundreds of mostly-empty buckets;
+to keep the exposition readable only bucket edges where the cumulative
+count *changes* are emitted (plus ``+Inf``).  Scrapers treat cumulative
+buckets as a step function, so eliding flat steps loses nothing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping
+
+from .registry import MetricsRegistry
+
+_TYPE_BY_KIND = {
+    "counter": "counter",
+    "gauge": "gauge",
+    "sampler": "summary",
+    "histogram": "histogram",
+}
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+    )
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _format(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _histogram_lines(
+    name: str, labels: Mapping[str, str], state: Mapping[str, Any]
+) -> List[str]:
+    lines: List[str] = []
+    width = int(state.get("bucket_width", 16))
+    cumulative = 0
+    previous = -1
+    for index, bucket_count in enumerate(state.get("buckets") or ()):
+        cumulative += int(bucket_count)
+        if cumulative != previous:
+            edge = 'le="%s"' % _format((index + 1) * width)
+            lines.append(
+                f"{name}_bucket{_labels(labels, edge)} {cumulative}"
+            )
+            previous = cumulative
+    total = int(state.get("count", 0))
+    inf_edge = 'le="+Inf"'
+    lines.append(f"{name}_bucket{_labels(labels, inf_edge)} {total}")
+    lines.append(f"{name}_sum{_labels(labels)} {_format(state.get('total', 0.0))}")
+    lines.append(f"{name}_count{_labels(labels)} {total}")
+    return lines
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus exposition text (trailing newline)."""
+    manifest = registry.to_manifest()
+    return render_manifest_prometheus(manifest)
+
+
+def render_manifest_prometheus(manifest: Mapping[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.to_manifest` payload directly.
+
+    Accepting the manifest (not the registry) means a sweep's stored JSON
+    can be re-rendered to Prometheus text later without replaying it into
+    a live registry.
+    """
+    lines: List[str] = []
+    metrics: Dict[str, Any] = manifest.get("metrics") or {}
+    for name in sorted(metrics):
+        family = metrics[name]
+        kind = family.get("kind", "gauge")
+        help_text = family.get("help") or ""
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {_TYPE_BY_KIND.get(kind, 'untyped')}")
+        for entry in family.get("series", ()):
+            labels = entry.get("labels") or {}
+            if kind == "counter" or kind == "gauge":
+                lines.append(
+                    f"{name}{_labels(labels)} {_format(entry.get('value', 0))}"
+                )
+            elif kind == "sampler":
+                summary = entry.get("summary") or {}
+                lines.append(
+                    f"{name}_count{_labels(labels)} "
+                    f"{_format(summary.get('count', 0))}"
+                )
+                lines.append(
+                    f"{name}_sum{_labels(labels)} "
+                    f"{_format(summary.get('total', 0.0))}"
+                )
+            else:  # histogram
+                lines.extend(_histogram_lines(
+                    name, labels, entry.get("histogram") or {}
+                ))
+    return "\n".join(lines) + "\n" if lines else ""

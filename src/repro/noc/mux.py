@@ -78,6 +78,10 @@ class Mux(Component):
         self._tracer = None
         self._tl_id = 0
         self._tl_link = None
+        #: Engine profiler (repro.metrics); observes folded batch spans
+        #: at materialisation time only, so unlike the tracer it is
+        #: compatible with lazy batching.
+        self._profiler = None
 
     def enable_vector_batching(self) -> None:
         """Opt into multi-cycle sole-contender packet batching.
@@ -250,6 +254,8 @@ class Mux(Component):
         self._progress[port] = p0 + skipped
         if self.stats is not None:
             self.stats.incr(self._flits_key, skipped)
+        if self._profiler is not None:
+            self._profiler.note_sole_batch(cycle - c0)
 
     def _maybe_start_batch(self, cycle: int) -> None:
         """Park a sole-contender mid-packet transfer until completion.

@@ -25,7 +25,14 @@ from .bench import bench_engine
 from .cache import ResultCache, code_version, job_key
 from .chaos import ChaosReport, run_chaos
 from .journal import SweepJournal, load_journal
-from .runner import SimJob, execute, merge_telemetry, resolve, run_jobs
+from .runner import (
+    SimJob,
+    execute,
+    merge_metrics,
+    merge_telemetry,
+    resolve,
+    run_jobs,
+)
 from .supervisor import (
     JobFailure,
     SweepError,
@@ -46,6 +53,7 @@ __all__ = [
     "execute",
     "job_key",
     "load_journal",
+    "merge_metrics",
     "merge_telemetry",
     "resolve",
     "run_chaos",

@@ -19,9 +19,16 @@ Two representative workloads are measured:
 
 The report also carries a ``"vector"`` section (vector-vs-active floor
 plus a ``full_volta`` block pinning the Table-1-scale numbers the PR's
-acceptance tracks), a ``"telemetry"`` section (tracing overhead) and a
-``"supervision"`` section (fault-tolerant runner overhead on a clean
-sweep, legacy pool vs per-job supervision; must stay <5%).
+acceptance tracks), a ``"telemetry"`` section (tracing overhead), a
+``"metrics"`` section (sampled engine self-profiling overhead; <2%
+budget) and a ``"supervision"`` section (fault-tolerant runner overhead
+on a clean sweep, legacy pool vs per-job supervision; must stay <5%).
+
+Every bench run also appends a trajectory record to
+``BENCH_history.jsonl`` (see :mod:`repro.metrics.history`); ``python -m
+repro bench --check-history`` compares the run against the trailing
+median for the same config and host and fails on a >20% throughput
+regression.
 
 The vector strategy requires numpy; without it the vector legs are
 recorded as unavailable (with the :class:`~repro.config.ConfigError`
@@ -123,6 +130,48 @@ def _bench_telemetry(config: GpuConfig, num_bits: int) -> Dict[str, Any]:
         "disabled_wall_s": round(off_s, 4),
         "enabled_wall_s": round(on_s, 4),
         "overhead_frac": round(overhead, 4),
+        "identical": True,
+        "cycles": off_cycles,
+    }
+
+
+def _bench_metrics(config: GpuConfig, num_bits: int) -> Dict[str, Any]:
+    """Measure the metrics plane's overhead on the channel workload.
+
+    Runs the TPC channel with ``metrics_enabled`` off and on under the
+    fastest available strategy (vector when numpy is present, active
+    otherwise), asserts the channel results are bit-identical — the
+    engine profiler only *reads* scheduler state — and reports the
+    wall-clock overhead of sampled self-profiling.  The budget is <2%
+    (``budget_frac``); the measured ``overhead_frac`` is recorded for
+    the history trail rather than hard-asserted, since sub-second wall
+    clocks are noisy on shared CI hosts.
+    """
+    strategy = "vector" if vector_available() else "active"
+    base = config.replace(engine_strategy=strategy)
+    off_s, off_cycles, off_fp = _time_strategy(
+        _tpc_channel, base.replace(metrics_enabled=False),
+        strategy, num_bits
+    )
+    on_s, on_cycles, on_fp = _time_strategy(
+        _tpc_channel, base.replace(metrics_enabled=True),
+        strategy, num_bits
+    )
+    assert off_fp == on_fp, (
+        "metrics-enabled run diverged from the metrics-off baseline"
+    )
+    assert off_cycles == on_cycles, (
+        f"cycle counts diverged with metrics on "
+        f"({off_cycles} vs {on_cycles})"
+    )
+    overhead = (on_s - off_s) / off_s if off_s > 0 else 0.0
+    return {
+        "workload": "tpc_channel",
+        "strategy": strategy,
+        "disabled_wall_s": round(off_s, 4),
+        "enabled_wall_s": round(on_s, 4),
+        "overhead_frac": round(overhead, 4),
+        "budget_frac": 0.02,
         "identical": True,
         "cycles": off_cycles,
     }
@@ -238,15 +287,22 @@ def bench_engine(
     num_bits: int = 24,
     workloads: Optional[Tuple[str, ...]] = None,
     output: Union[str, Path, None] = BENCH_OUTPUT,
+    on_phase: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, Any]:
     """Benchmark all engine strategies; optionally write a JSON report.
 
     Returns the report dict.  Raises ``AssertionError`` if any workload
     produces different results under any two strategies — the optimised
-    engines are only optimisations if they are cycle-exact.
+    engines are only optimisations if they are cycle-exact.  ``on_phase``
+    (when given) is called with a short label as each timed leg starts —
+    the CLI's ``--progress`` renderer hangs off it.
     """
     names = workloads or tuple(_WORKLOADS)
     with_vector = vector_available()
+
+    def phase(label: str) -> None:
+        if on_phase is not None:
+            on_phase(label)
     report: Dict[str, Any] = {
         "scales": {
             "num_sms": config.num_sms,
@@ -259,9 +315,11 @@ def bench_engine(
     vector_speedups = []
     for name in names:
         workload = _WORKLOADS[name]
+        phase(f"{name}:naive")
         naive_s, cycles, naive_fp = _time_strategy(
             workload, config, "naive", num_bits
         )
+        phase(f"{name}:active")
         active_s, active_cycles, active_fp = _time_strategy(
             workload, config, "active", num_bits
         )
@@ -280,6 +338,7 @@ def bench_engine(
             "identical": True,
         }
         if with_vector:
+            phase(f"{name}:vector")
             vector_s, vector_cycles, vector_fp = _time_strategy(
                 workload, config, "vector", num_bits
             )
@@ -305,6 +364,7 @@ def bench_engine(
         report["workloads"][name] = entry
     report["min_speedup"] = round(min(speedups), 3)
     if with_vector:
+        phase("full_volta")
         report["vector"] = {
             "available": True,
             "min_speedup_vs_active": round(min(vector_speedups), 3),
@@ -319,7 +379,11 @@ def bench_engine(
         except ConfigError as error:
             message = str(error)
         report["vector"] = {"available": False, "error": message}
+    phase("telemetry")
     report["telemetry"] = _bench_telemetry(config, num_bits)
+    phase("metrics")
+    report["metrics"] = _bench_metrics(config, num_bits)
+    phase("supervision")
     report["supervision"] = _bench_supervision(config, num_bits)
     if output is not None:
         path = Path(output)

@@ -155,6 +155,10 @@ class ChaosReport:
     resume: Dict[str, Any]
     quarantine: Dict[str, Any]
     problems: List[str] = field(default_factory=list)
+    #: Labeled metrics manifest of the chaos sweep itself (the drill is
+    #: the one sweep in the repo guaranteed to exercise every failure
+    #: kind, so its manifest doubles as a metrics-plane fixture).
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -174,6 +178,7 @@ class ChaosReport:
             "resume": dict(self.resume),
             "quarantine": dict(self.quarantine),
             "problems": list(self.problems),
+            "metrics": self.metrics,
         }
 
 
@@ -396,6 +401,7 @@ def run_chaos(
         resume=resume_info,
         quarantine=quarantine_info,
         problems=problems,
+        metrics=outcome.metrics,
     )
     if owns_scratch:
         import shutil

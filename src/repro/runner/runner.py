@@ -86,8 +86,10 @@ def execute(job: SimJob) -> Any:
     :class:`~repro.gpu.device.GpuDevice` gain a ``"telemetry"`` key — the
     merged metrics manifest (round-trip latency aggregates plus, with
     ``telemetry_enabled``, link/event summaries) of every device the job
-    constructed.  Non-dict results and device-less workloads pass through
-    unchanged.
+    constructed.  With ``config.metrics_enabled`` they additionally gain
+    a ``"metrics"`` key holding the merged engine-profile manifest of
+    every profiled device.  Non-dict results and device-less workloads
+    pass through unchanged.
     """
     fn = resolve(job.fn)
     with collecting() as frame:
@@ -96,21 +98,44 @@ def execute(job: SimJob) -> Any:
     if manifest is not None and isinstance(result, dict):
         result = dict(result)
         result["telemetry"] = manifest
+        metrics = frame.metrics()
+        if metrics is not None:
+            result["metrics"] = metrics
     return json.loads(json.dumps(result))
 
 
-def merge_telemetry(results: Sequence[Any]) -> Optional[Dict[str, Any]]:
+def _select(
+    results: Sequence[Any], fresh: Optional[Sequence[int]]
+) -> Sequence[Any]:
+    """Results to aggregate: all of them, or only the ``fresh`` indices.
+
+    ``fresh`` is :attr:`~repro.runner.supervisor.SweepOutcome.fresh` —
+    jobs that actually executed this run and succeeded.  Restricting to
+    it keeps sweep-wide aggregates honest: cache hits and journal
+    replays would double-count observations recorded by an earlier run,
+    and failed slots hold :class:`JobFailure` records, not results.
+    """
+    if fresh is None:
+        return results
+    return [results[index] for index in fresh if 0 <= index < len(results)]
+
+
+def merge_telemetry(
+    results: Sequence[Any],
+    fresh: Optional[Sequence[int]] = None,
+) -> Optional[Dict[str, Any]]:
     """Aggregate the ``"telemetry"`` sections of a sweep's job results.
 
     Each worker process summarises its own devices; this folds the
     per-job round-trip latency summaries back into one sweep-wide
     :class:`~repro.sim.stats.Sampler` aggregate.  Returns None when no
-    result carried telemetry.
+    result carried telemetry.  ``fresh`` (see :func:`_select`) restricts
+    the fold to jobs that executed fresh and succeeded this run.
     """
     merged = Sampler()
     jobs_with = 0
     devices = 0
-    for result in results:
+    for result in _select(results, fresh):
         if not isinstance(result, dict):
             continue
         section = result.get("telemetry")
@@ -126,6 +151,40 @@ def merge_telemetry(results: Sequence[Any]) -> Optional[Dict[str, Any]]:
         "devices": devices,
         "read_latency": merged.summary(),
     }
+
+
+def merge_metrics(
+    results: Sequence[Any],
+    fresh: Optional[Sequence[int]] = None,
+) -> Optional[Dict[str, Any]]:
+    """Aggregate the ``"metrics"`` sections of a sweep's job results.
+
+    Counterpart of :func:`merge_telemetry` for the labeled-metrics plane:
+    per-job engine-profile manifests (recorded by workers running with
+    ``config.metrics_enabled``) are folded into one registry — counters
+    sum, gauges keep their high-water mark, samplers and histograms
+    merge.  Returns None when no selected result carried metrics.
+    ``fresh`` restricts the fold to jobs that executed fresh and
+    succeeded this run, so replayed or cached points are not counted
+    twice.
+    """
+    from ..metrics.registry import MetricsRegistry
+
+    merged = MetricsRegistry()
+    jobs_with = 0
+    devices = 0
+    for result in _select(results, fresh):
+        if not isinstance(result, dict):
+            continue
+        section = result.get("metrics")
+        if not section:
+            continue
+        jobs_with += 1
+        devices += section.get("devices", 0)
+        merged.merge_manifest(section)
+    if not jobs_with:
+        return None
+    return {"jobs": jobs_with, "devices": devices, **merged.to_manifest()}
 
 
 def _pool_entry(payload: Tuple[int, SimJob]) -> Tuple[int, Any]:
@@ -146,6 +205,7 @@ def run_jobs(
     journal: Union[str, "Path", "SweepJournal", None] = None,
     resume: bool = False,
     supervised: Optional[bool] = None,
+    on_event: Optional[Callable[[str, Dict[str, Any]], None]] = None,
 ) -> List[Any]:
     """Run every job, in parallel where possible; results in job order.
 
@@ -173,12 +233,17 @@ def run_jobs(
     checkpoints completed points to an append-only JSONL file;
     ``resume=True`` replays points a previous run already completed and
     executes only the remainder.
+
+    ``on_event`` receives fine-grained supervision events (``launch`` /
+    ``ok`` / ``fail`` / ``cache-hit`` / ``replay``; see
+    :func:`~repro.runner.supervisor.run_supervised`) and forces the
+    supervised path, since only the supervisor emits them.
     """
     if supervised is None:
         supervised = (
             timeout_s is not None or retries is not None
             or policy is not None or journal is not None
-            or resume or not strict
+            or resume or not strict or on_event is not None
         )
 
     if supervised:
@@ -203,6 +268,7 @@ def run_jobs(
             outcome = run_supervised(
                 jobs, workers=workers, cache=cache, progress=progress,
                 policy=policy, journal=journal_obj, resume=resume,
+                on_event=on_event,
             )
         finally:
             if owns_journal:

@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..config import SweepSupervision
+from ..metrics.registry import MetricsRegistry, get_registry
 from .cache import ResultCache, job_key
 from .journal import SweepJournal
 
@@ -129,6 +130,13 @@ class SweepOutcome:
     counters: Dict[str, int]
     quarantines: List[Dict[str, Any]] = field(default_factory=list)
     journal_path: Optional[str] = None
+    #: Indices of jobs that executed *fresh* this run and succeeded —
+    #: cache hits, journal replays and failed slots excluded.  Telemetry
+    #: and metrics aggregation over "fresh, healthy points" keys on this.
+    fresh: List[int] = field(default_factory=list)
+    #: Labeled metrics manifest of the sweep (``repro.metrics`` shape),
+    #: mergeable across shards via ``MetricsRegistry.merge_manifest``.
+    metrics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -140,9 +148,11 @@ class SweepOutcome:
             "jobs": len(self.results),
             "ok": self.ok,
             "counters": dict(self.counters),
+            "fresh": len(self.fresh),
             "failures": [failure.to_dict() for failure in self.failures],
             "quarantines": list(self.quarantines),
             "journal": self.journal_path,
+            "metrics": self.metrics,
         }
 
 
@@ -228,6 +238,8 @@ def run_supervised(
     journal: Optional[SweepJournal] = None,
     resume: bool = False,
     mp_context=None,
+    on_event: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SweepOutcome:
     """Run a sweep under per-job supervision; never aborts on one job.
 
@@ -240,13 +252,65 @@ def run_supervised(
     ``KeyboardInterrupt`` (or any other escaping exception, including one
     raised by ``progress``) every in-flight worker is killed and the
     journal is flushed before the exception propagates.
+
+    ``on_event`` receives fine-grained supervision events — ``launch``,
+    ``ok``, ``fail``, ``cache-hit``, ``replay`` — each with a small info
+    dict (``index``, plus ``attempt``/``retry``/``kind`` where they
+    apply); :class:`repro.metrics.SweepProgress` plugs in here.  Labeled
+    supervision metrics are recorded into ``metrics`` when given; when
+    not, a private registry is used and folded into the process default
+    (:func:`repro.metrics.get_registry`) on completion, and the manifest
+    lands on :attr:`SweepOutcome.metrics` either way.
     """
     policy = policy or SweepSupervision.from_env()
     total = len(jobs)
     results: List[Any] = [None] * total
     failures: Dict[int, JobFailure] = {}
     counters: collections.Counter = collections.Counter()
+    fresh: List[int] = []
     done = 0
+
+    registry = metrics if metrics is not None else MetricsRegistry()
+    m_completed = registry.counter("sweep_jobs_total", state="completed")
+    m_failed = registry.counter("sweep_jobs_total", state="failed")
+    m_cache_hit = registry.counter("sweep_jobs_total", state="cache_hit")
+    m_replayed = registry.counter(
+        "sweep_jobs_total",
+        "Sweep jobs by terminal state (completed/failed) or skip "
+        "reason (cache_hit/journal_replay).",
+        state="journal_replay",
+    )
+    m_attempts = registry.counter(
+        "sweep_attempts_total", "Worker processes launched."
+    )
+    m_attempt_failures = {
+        kind: registry.counter(
+            "sweep_attempt_failures_total",
+            "Failed attempts by kind (terminal or retried).",
+            kind=kind,
+        )
+        for kind in FAILURE_KINDS
+    }
+    m_retries = registry.counter(
+        "sweep_retries_total", "Attempts re-queued after a failure."
+    )
+    m_backoff = registry.sampler(
+        "sweep_backoff_seconds", "Retry backoff delays scheduled."
+    )
+    m_lifetime = registry.sampler(
+        "sweep_worker_lifetime_seconds",
+        "Wall-clock lifetime of finished worker processes.",
+    )
+    m_quarantined = registry.counter(
+        "sweep_quarantined_total", "Cache entries quarantined this sweep."
+    )
+    m_workers = registry.gauge(
+        "sweep_workers", "Worker slots used by this sweep."
+    )
+
+    def emit(event: str, **info: Any) -> None:
+        if on_event is not None:
+            on_event(event, info)
 
     def report() -> None:
         if progress is not None:
@@ -270,7 +334,9 @@ def run_supervised(
         if key in replayed:
             results[index] = replayed[key]
             counters["journal_replays"] += 1
+            m_replayed.inc()
             done += 1
+            emit("replay", index=index)
             report()
             continue
         if cache is not None:
@@ -278,7 +344,9 @@ def run_supervised(
             if hit is not None:
                 results[index] = hit
                 counters["cache_hits"] += 1
+                m_cache_hit.inc()
                 done += 1
+                emit("cache-hit", index=index)
                 report()
                 continue
         pending.append(index)
@@ -298,15 +366,26 @@ def run_supervised(
         if cache is not None:
             result = cache.put(attempt.key, result)
         results[attempt.index] = result
+        fresh.append(attempt.index)
+        elapsed = time.monotonic() - attempt.started
+        m_completed.inc()
+        m_lifetime.add(elapsed)
         done += 1
         if journal is not None:
             journal.record_result(attempt.key, attempt.index, result)
+        emit(
+            "ok",
+            index=attempt.index,
+            attempt=attempt.attempt,
+            elapsed_s=round(elapsed, 4),
+        )
         report()
 
     if pending:
         if workers is None:
             workers = min(len(pending), multiprocessing.cpu_count())
         workers = max(1, workers)
+        m_workers.set(workers)
         ctx = mp_context or multiprocessing.get_context()
 
         queue: collections.deque = collections.deque(
@@ -320,24 +399,36 @@ def run_supervised(
                            message: str, detail: str = "") -> None:
             nonlocal done
             counters[f"failures_{kind.replace('-', '_')}"] += 1
+            m_attempt_failures[kind].inc()
+            elapsed = time.monotonic() - attempt.started
+            m_lifetime.add(elapsed)
             record = {
                 "attempt": attempt.attempt,
                 "kind": kind,
                 "message": message,
-                "elapsed_s": round(time.monotonic() - attempt.started, 4),
+                "elapsed_s": round(elapsed, 4),
             }
             if detail:
                 record["detail"] = detail
             attempt.history.append(record)
             if attempt.attempt < policy.max_attempts:
                 counters["retries"] += 1
-                ready = time.monotonic() + backoff_delay(
-                    policy, attempt.key, attempt.attempt
-                )
+                m_retries.inc()
+                delay = backoff_delay(policy, attempt.key, attempt.attempt)
+                m_backoff.add(delay)
+                ready = time.monotonic() + delay
                 heapq.heappush(waiting, (
                     ready, next(sequence),
                     (attempt.index, attempt.attempt + 1, attempt.history),
                 ))
+                emit(
+                    "fail",
+                    index=attempt.index,
+                    attempt=attempt.attempt,
+                    kind=kind,
+                    retry=True,
+                    message=message,
+                )
                 return
             failure = JobFailure(
                 index=attempt.index,
@@ -350,11 +441,20 @@ def run_supervised(
             )
             failures[attempt.index] = failure
             results[attempt.index] = failure
+            m_failed.inc()
             done += 1
             if journal is not None:
                 journal.record_failure(
                     failure.key, failure.index, failure.to_dict()
                 )
+            emit(
+                "fail",
+                index=attempt.index,
+                attempt=attempt.attempt,
+                kind=kind,
+                retry=False,
+                message=message,
+            )
             report()
 
         def launch(index: int, attempt_no: int,
@@ -377,6 +477,8 @@ def run_supervised(
                 started=now, deadline=deadline,
             )
             counters["attempts"] += 1
+            m_attempts.inc()
+            emit("launch", index=index, attempt=attempt_no)
 
         try:
             while queue or waiting or inflight:
@@ -458,6 +560,12 @@ def run_supervised(
     if cache is not None and cache.quarantined > quarantine_base:
         quarantines = list(cache.quarantines[quarantine_base:])
         counters["quarantined"] = len(quarantines)
+        m_quarantined.inc(len(quarantines))
+
+    if metrics is None:
+        # No caller-owned registry: make the sweep visible process-wide
+        # (``python -m repro metrics`` reads the default registry).
+        get_registry().merge(registry)
 
     return SweepOutcome(
         results=results,
@@ -465,4 +573,6 @@ def run_supervised(
         counters=dict(counters),
         quarantines=quarantines,
         journal_path=str(journal.path) if journal is not None else None,
+        fresh=fresh,
+        metrics=registry.to_manifest(),
     )

@@ -209,6 +209,12 @@ class Engine:
         #: telemetry/stats reset so an engine reset leaves no stale
         #: observability state behind.
         self.on_reset: Optional[Callable[[], None]] = None
+        #: Optional :class:`repro.metrics.EngineProfiler`.  Read-only
+        #: sampled self-profiling of the scheduling loop (active-set
+        #: sizes, fast-forward spans); ``None`` costs one branch per
+        #: busy cycle.  Only the scheduling strategies consult it — the
+        #: naive reference loop has no schedule to profile.
+        self.profiler = None
         for component in components or []:
             self.register(component)
 
@@ -312,6 +318,7 @@ class Engine:
         components = self._components
         active = self._active
         has_post = self._has_post
+        profiler = self.profiler
         target = self.cycle + cycles
         while self.cycle < target:
             cycle = self.cycle
@@ -328,8 +335,12 @@ class Engine:
                 self.fast_forwarded_cycles += jump - cycle
                 if self.on_fast_forward is not None:
                     self.on_fast_forward(cycle, jump)
+                if profiler is not None:
+                    profiler.note_fast_forward(jump - cycle)
                 self.cycle = jump
                 continue
+            if profiler is not None and cycle >= profiler.next_sample:
+                profiler.sample(cycle, self._num_active)
             post_due: Optional[List[Component]] = None
             index = 0
             # Plain index loop: mid-cycle wakes at higher indices must be

@@ -19,6 +19,15 @@ from collections import defaultdict
 from typing import Any, Dict, List, Optional
 
 
+def _json_bound(value: float) -> Optional[float]:
+    """A min/max bound made JSON-safe.
+
+    ``float("inf")``/``-inf`` serialize as the non-RFC ``Infinity`` token,
+    which strict JSON parsers reject; an unobserved bound is ``null``.
+    """
+    return value if math.isfinite(value) else None
+
+
 class Sampler:
     """Accumulates scalar observations (e.g. latencies)."""
 
@@ -72,11 +81,13 @@ class Sampler:
         if not self.count:
             return {"count": 0, "mean": 0.0, "min": None, "max": None,
                     "total": 0.0}
+        # Aggregate-only samplers (``from_summary`` of a summary that lost
+        # its bounds) can carry ``count > 0`` with untouched ±inf bounds.
         return {
             "count": self.count,
             "mean": self.mean,
-            "min": self.minimum,
-            "max": self.maximum,
+            "min": _json_bound(self.minimum),
+            "max": _json_bound(self.maximum),
             "total": self.total,
         }
 
@@ -200,12 +211,11 @@ class Histogram:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe summary with the headline percentiles."""
-        empty = not self.count
         return {
             "count": self.count,
             "mean": self.mean,
-            "min": None if empty else self.minimum,
-            "max": None if empty else self.maximum,
+            "min": _json_bound(self.minimum),
+            "max": _json_bound(self.maximum),
             "p50": self.p50,
             "p95": self.p95,
             "p99": self.p99,
@@ -213,6 +223,49 @@ class Histogram:
             "bucket_width": self.bucket_width,
             "num_buckets": self.num_buckets,
         }
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Full-fidelity JSON-safe state: buckets included.
+
+        Unlike :meth:`to_dict` (a human-facing summary), the state dict
+        round-trips through :meth:`from_state` without losing bucket
+        counts, so histograms can be merged *after* JSON transport —
+        the metrics plane ships these across worker-shard boundaries.
+        """
+        return {
+            "bucket_width": self.bucket_width,
+            "num_buckets": self.num_buckets,
+            "buckets": list(self.buckets),
+            "overflow": self.overflow,
+            "count": self.count,
+            "total": self.total,
+            "min": _json_bound(self.minimum),
+            "max": _json_bound(self.maximum),
+        }
+
+    @classmethod
+    def from_state(cls, data: Dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram from :meth:`state_dict` output."""
+        histogram = cls(
+            bucket_width=int(data.get("bucket_width", 16)),
+            num_buckets=int(data.get("num_buckets", 256)),
+        )
+        buckets = list(data.get("buckets") or ())
+        if len(buckets) > histogram.num_buckets:
+            raise ValueError(
+                f"histogram state has {len(buckets)} buckets but declares "
+                f"num_buckets={histogram.num_buckets}"
+            )
+        for index, bucket_count in enumerate(buckets):
+            histogram.buckets[index] = int(bucket_count)
+        histogram.overflow = int(data.get("overflow", 0))
+        histogram.count = int(data.get("count", 0))
+        histogram.total = float(data.get("total", 0.0))
+        if data.get("min") is not None:
+            histogram.minimum = float(data["min"])
+        if data.get("max") is not None:
+            histogram.maximum = float(data["max"])
+        return histogram
 
     def reset(self) -> None:
         self.buckets = [0] * self.num_buckets
@@ -299,8 +352,8 @@ class StatsRegistry:
             sampler_diffs[name] = {
                 "count": delta_count,
                 "mean": delta_total / delta_count,
-                "min": sampler.minimum,
-                "max": sampler.maximum,
+                "min": _json_bound(sampler.minimum),
+                "max": _json_bound(sampler.maximum),
                 "total": delta_total,
             }
         if sampler_diffs:

@@ -124,6 +124,7 @@ class VectorEngine(Engine):
         has_post = self._has_post
         active_set = self._active_set
         bank_at = self._bank_at
+        profiler = self.profiler
         target = self.cycle + cycles
         while self.cycle < target:
             cycle = self.cycle
@@ -139,8 +140,12 @@ class VectorEngine(Engine):
                 self.fast_forwarded_cycles += jump - cycle
                 if self.on_fast_forward is not None:
                     self.on_fast_forward(cycle, jump)
+                if profiler is not None:
+                    profiler.note_fast_forward(jump - cycle)
                 self.cycle = jump
                 continue
+            if profiler is not None and cycle >= profiler.next_sample:
+                profiler.sample(cycle, self._num_active)
             # Order this cycle's frontier by pipeline index.  A sorted
             # list is a valid min-heap, so mid-cycle wakes can heappush
             # into it directly.
@@ -172,6 +177,8 @@ class VectorEngine(Engine):
                     # the whole bank.
                     members = [i for i in range(index, hi) if active[i]]
                     self._scan_pos = hi - 1
+                    if profiler is not None:
+                        profiler.note_bank_dispatch(len(members))
                     ticked += bank.tick_batch(
                         self, members, cycle
                     )

@@ -74,6 +74,31 @@ class Collector:
             "per_device": per_device,
         }
 
+    def metrics(self) -> Optional[Dict[str, Any]]:
+        """Merged engine-profile metrics across collected devices.
+
+        Devices built with ``config.metrics_enabled`` carry an
+        :class:`~repro.metrics.EngineProfiler`; their registries are
+        folded into one metrics manifest (counters sum, samplers and
+        histograms merge).  Returns ``None`` when no collected device
+        was profiling, so results of unprofiled runs stay unchanged.
+        """
+        profiled = 0
+        merged = None
+        for device in self.devices:
+            profiler = getattr(device, "profiler", None)
+            if profiler is None:
+                continue
+            if merged is None:
+                from ..metrics.registry import MetricsRegistry
+
+                merged = MetricsRegistry()
+            profiled += 1
+            merged.merge(profiler.registry)
+        if merged is None:
+            return None
+        return {"devices": profiled, **merged.to_manifest()}
+
 
 @contextmanager
 def collecting() -> Iterator[Collector]:

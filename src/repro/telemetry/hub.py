@@ -107,6 +107,11 @@ class Telemetry:
             },
             "fast_forward": {
                 "spans": len(self.fast_forwards) + self._ff_dropped,
+                "recorded": len(self.fast_forwards),
+                # Spans observed past MAX_FAST_FORWARDS are counted but
+                # not retained; a non-zero value means per-span data
+                # (the "cycles" sum) is a lower bound.
+                "dropped": self._ff_dropped,
                 "cycles": sum(to - frm for frm, to in self.fast_forwards),
             },
             "epoch_cycles": self.timeline.epoch_cycles,

@@ -108,7 +108,7 @@ def run_artifact(
                 "expected a metric dict"
             )
         for name, value in row.items():
-            if name == "telemetry":
+            if name in ("telemetry", "metrics"):
                 continue
             samples.setdefault(name, []).append(value)
     return samples

@@ -236,3 +236,91 @@ class TestGoldenCommand:
             ["--scale", "pascal", "golden", "list",
              "--golden-dir", str(self.golden_dir)]
         ) == 2
+
+
+class TestMetricsCommand:
+    @pytest.fixture(autouse=True)
+    def _isolated_dirs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path / "sweeps"))
+        self.tmp_path = tmp_path
+
+    def _manifest(self, capsys):
+        import json
+
+        path = self.tmp_path / "metrics.json"
+        assert main(
+            ["metrics", "--iterations", "1", "--bits", "4",
+             "--json", str(path)]
+        ) == 0
+        return json.loads(path.read_text()), capsys.readouterr().out
+
+    def test_sweep_emits_prometheus_and_manifest(self, capsys):
+        payload, out = self._manifest(capsys)
+        assert "# TYPE sweep_jobs_total counter" in out
+        assert 'sweep_jobs_total{state="completed"} 1' in out
+        # Engine self-profiles from the fresh job fold into the output.
+        assert "engine_profile_samples_total" in out
+        assert "Infinity" not in self.tmp_path.joinpath(
+            "metrics.json"
+        ).read_text()
+        families = payload["metrics"]
+        assert families["sweep_jobs_total"]["kind"] == "counter"
+        assert families["sweep_worker_lifetime_seconds"]["kind"] == "sampler"
+        assert "engine_fast_forward_span_cycles" in families
+
+    def test_merge_doubles_shard_counters(self, capsys):
+        self._manifest(capsys)  # writes metrics.json, drains capsys
+        shard = str(self.tmp_path / "metrics.json")
+        assert main(["metrics", "--merge", shard, shard]) == 0
+        out = capsys.readouterr().out
+        assert 'sweep_jobs_total{state="completed"} 2' in out
+
+
+class TestBenchHistoryCommand:
+    def _report(self, tmp_path, factor=1.0):
+        import json
+
+        report = {
+            "scales": {"num_sms": 4, "num_l2_slices": 2},
+            "num_bits": 6,
+            "workloads": {
+                "tpc_channel": {
+                    "naive_cycles_per_s": 1000.0 * factor,
+                    "active_cycles_per_s": 4000.0 * factor,
+                    "identical": True,
+                },
+            },
+        }
+        path = tmp_path / f"report_{factor}.json"
+        path.write_text(json.dumps(report))
+        return report, str(path)
+
+    def test_from_report_regression_exits_three(self, tmp_path, capsys):
+        from repro.metrics import append_history, bench_record
+
+        history = tmp_path / "hist.jsonl"
+        baseline, _ = self._report(tmp_path)
+        for ts in (1.0, 2.0, 3.0):
+            append_history(bench_record(baseline, timestamp=ts), history)
+
+        _, bad_path = self._report(tmp_path, factor=0.5)
+        assert main(
+            ["bench", "--from-report", bad_path, "--check-history",
+             "--history-file", str(history)]
+        ) == 3
+        assert "REGRESSION" in capsys.readouterr().out
+
+        _, good_path = self._report(tmp_path, factor=1.05)
+        assert main(
+            ["bench", "--from-report", good_path, "--check-history",
+             "--history-file", str(history)]
+        ) == 0
+
+    def test_from_report_without_baseline_is_ok(self, tmp_path, capsys):
+        _, path = self._report(tmp_path)
+        assert main(
+            ["bench", "--from-report", path, "--check-history",
+             "--history-file", str(tmp_path / "empty.jsonl")]
+        ) == 0
+        assert "skipped" in capsys.readouterr().out.lower()

@@ -77,6 +77,26 @@ class TestSampler:
                            "max": None, "total": 0.0}
         assert Sampler.from_summary(summary).count == 0
 
+    def test_aggregate_roundtrip_never_emits_infinity(self):
+        # Regression: an aggregate-only sampler built from a summary with
+        # null extrema carries count > 0 with ±inf bounds; serialising it
+        # again used to leak the non-RFC "Infinity" token into JSON.
+        import json
+
+        first = Sampler.from_summary(
+            {"count": 3, "mean": 2.0, "min": None, "max": None,
+             "total": 6.0}
+        )
+        summary = first.summary()
+        assert summary["min"] is None and summary["max"] is None
+        text = json.dumps(summary)
+        assert "Infinity" not in text
+        rebuilt = Sampler.from_summary(json.loads(text))
+        assert rebuilt.count == 3 and rebuilt.total == 6.0
+        # Bounds stay absorbing for future merges.
+        rebuilt.add(5.0)
+        assert rebuilt.minimum == 5.0 and rebuilt.maximum == 5.0
+
 
 class TestHistogram:
     def test_percentiles_on_uniform_values(self):
@@ -131,6 +151,33 @@ class TestHistogram:
         hist.add(5)
         hist.reset()
         assert hist.count == 0 and sum(hist.buckets) == 0
+
+    def test_state_roundtrip(self):
+        import json
+
+        hist = Histogram(10, 4)
+        for value in (5, 15, 9999):
+            hist.add(value)
+        state = json.loads(json.dumps(hist.state_dict()))
+        assert "Infinity" not in json.dumps(state)
+        rebuilt = Histogram.from_state(state)
+        assert rebuilt.count == hist.count
+        assert rebuilt.overflow == hist.overflow
+        assert rebuilt.buckets == hist.buckets
+        assert rebuilt.minimum == 5 and rebuilt.maximum == 9999
+        assert rebuilt.p99 == hist.p99
+
+    def test_empty_state_keeps_absorbing_bounds(self):
+        rebuilt = Histogram.from_state(Histogram(10, 4).state_dict())
+        assert rebuilt.count == 0
+        rebuilt.add(7)
+        assert rebuilt.minimum == 7 and rebuilt.maximum == 7
+
+    def test_from_state_rejects_oversized_buckets(self):
+        state = Histogram(10, 2).state_dict()
+        state["buckets"] = [1, 2, 3]
+        with pytest.raises(ValueError):
+            Histogram.from_state(state)
 
 
 class TestStatsRegistry:

@@ -235,9 +235,15 @@ class TestHubAndManifest:
         for i in range(MAX_FAST_FORWARDS + 5):
             hub.note_fast_forward(i, i + 1)
         assert len(hub.fast_forwards) == MAX_FAST_FORWARDS
-        assert hub.manifest()["fast_forward"]["spans"] == (
-            MAX_FAST_FORWARDS + 5
-        )
+        section = hub.manifest()["fast_forward"]
+        assert section["spans"] == MAX_FAST_FORWARDS + 5
+        assert section["recorded"] == MAX_FAST_FORWARDS
+        assert section["dropped"] == 5
+        # Retained spans still sum; dropped ones make it a lower bound.
+        assert section["cycles"] == MAX_FAST_FORWARDS
+        hub.reset()
+        fresh = hub.manifest()["fast_forward"]
+        assert fresh["dropped"] == 0 and fresh["spans"] == 0
 
 
 class TestChromeTraceExport:
