@@ -13,6 +13,7 @@ from .protocol import (
     sender_program,
 )
 from .base import CovertChannelBase, block_to_tpc_map
+from .link_channel import LinkCovertChannel
 from .tpc_channel import TpcCovertChannel
 from .gpc_channel import GpcCovertChannel
 from .multilevel import DEFAULT_LEVELS, MultiLevelTpcChannel
@@ -56,6 +57,7 @@ __all__ = [
     "sender_program",
     "CovertChannelBase",
     "block_to_tpc_map",
+    "LinkCovertChannel",
     "TpcCovertChannel",
     "GpcCovertChannel",
     "DEFAULT_LEVELS",

@@ -151,9 +151,13 @@ def sender_program(context: WarpContext) -> WarpProgram:
     base address).  Blocks without an entry in ``channel_bits`` idle out.
     ``levels``: list of per-symbol request densities for the multi-level
     channel; for the binary channel symbol s != 0 sends with full density.
+    ``target_device``: optional device id for multi-GPU link channels —
+    every memory op goes over the inter-GPU fabric to that device's L2
+    instead of the local NoC (absent/None keeps on-chip behavior).
     """
     args = context.args
     params: ChannelParams = args["params"]
+    target_device = args.get("target_device")
     bits = args["channel_bits"].get(context.block_id)
     if bits is None:
         return
@@ -186,7 +190,8 @@ def sender_program(context: WarpContext) -> WarpProgram:
             for op in range(params.iterations):
                 addresses = sender_addresses(local, base, line_bytes, op)
                 yield MemOp(
-                    params.sender_kind, addresses, wait_for_completion=False
+                    params.sender_kind, addresses,
+                    wait_for_completion=False, device=target_device,
                 )
         now = yield ReadClock()
         slot_end = slot_start + slot
@@ -201,10 +206,13 @@ def receiver_program(context: WarpContext) -> WarpProgram:
     """Algorithm 2, receiver side.
 
     Records the summed probe latency of every slot into
-    ``args['measurements'][(block_id, slot_index)]``.
+    ``args['measurements'][(block_id, slot_index)]``.  As with the
+    sender, an optional ``target_device`` arg retargets every probe at a
+    remote device's L2 over the inter-GPU fabric.
     """
     args = context.args
     params: ChannelParams = args["params"]
+    target_device = args.get("target_device")
     num_symbols = args["num_symbols"].get(context.block_id)
     if num_symbols is None:
         return
@@ -228,7 +236,7 @@ def receiver_program(context: WarpContext) -> WarpProgram:
         total_latency = 0
         for op in range(params.iterations):
             addresses = receiver_addresses(params, base, line_bytes, op)
-            latency = yield MemOp(READ, addresses)
+            latency = yield MemOp(READ, addresses, device=target_device)
             total_latency += latency
         measurements[(context.block_id, index)] = total_latency
         now = yield ReadClock()

@@ -8,6 +8,7 @@ Gives downstream users a zero-code way to run the paper's experiments::
     python -m repro fig5                    # read/write contention
     python -m repro fig6                    # clock survey
     python -m repro fig10 --panel tpc       # bandwidth vs iterations
+    python -m repro linkchan                # inter-GPU NVLink channel
     python -m repro fig15                   # arbitration countermeasures
     python -m repro table2                  # measured channel summary
     python -m repro bench                   # engine strategy benchmark
@@ -300,6 +301,53 @@ def _print_sweep_latency(rows) -> None:
         f"(min {latency['min']:.0f}, max {latency['max']:.0f}, "
         f"n={latency['count']})"
     )
+
+
+def cmd_linkchan(args) -> int:
+    """NVLink-channel sweep over a multi-GPU fabric (fig10-style)."""
+    import json as _json
+
+    from .runner import SimJob
+
+    config = _config(args)
+    jobs = [
+        SimJob(
+            fn="repro.runner.workloads.link_channel_point",
+            config=config,
+            params={
+                "iteration_count": count,
+                "bits": args.bits,
+                "seed": 4021 + index,
+                "num_devices": args.devices,
+                "topology": args.topology,
+                "link_width": args.link_width,
+                "link_latency": args.link_latency,
+            },
+        )
+        for index, count in enumerate(args.iterations)
+    ]
+    rows, failures = _run_sweep(args, jobs, f"linkchan-{args.scale}")
+    print(format_table(
+        ["iterations", "bit rate (kbps)", "error rate"],
+        [(r["iterations"], r["bandwidth_kbps"], r["error_rate"])
+         for r in rows],
+    ))
+    _print_sweep_latency(rows)
+    if args.json:
+        manifest = {
+            "scale": args.scale,
+            "topology": args.topology,
+            "devices": args.devices,
+            "link_width": args.link_width,
+            "link_latency": args.link_latency,
+            "bits": args.bits,
+            "points": rows,
+            "failures": len(failures),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(manifest, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 1 if failures else 0
 
 
 def cmd_fig15(args) -> int:
@@ -830,7 +878,32 @@ def build_parser() -> argparse.ArgumentParser:
     table2 = sub.add_parser("table2", help="measured channel summary")
     table2.add_argument("--bits", type=int, default=10)
 
-    for sweep in (fig10, table2):
+    linkchan = sub.add_parser(
+        "linkchan",
+        help="NVLink-class inter-GPU covert channel sweep "
+             "(multi-device fabric; bw vs error per iteration count)",
+    )
+    linkchan.add_argument("--iterations", type=int, nargs="+",
+                          default=[1, 2, 3],
+                          help="sender/receiver memory ops per bit slot")
+    linkchan.add_argument("--bits", type=int, default=16,
+                          help="payload bits per sweep point")
+    linkchan.add_argument("--devices", type=int, default=2,
+                          help="GPUs in the fabric (attacker is device 0)")
+    linkchan.add_argument(
+        "--topology", choices=("ring", "full", "switch"), default="ring",
+        help="fabric shape (default: ring)",
+    )
+    linkchan.add_argument("--link-width", type=int, default=4,
+                          help="link bandwidth in flits/cycle")
+    linkchan.add_argument("--link-latency", type=int, default=150,
+                          help="one-way link flight time in cycles")
+    linkchan.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="write the sweep manifest (points + fabric shape) as JSON",
+    )
+
+    for sweep in (fig10, table2, linkchan):
         sweep.add_argument(
             "--workers", type=int, default=None,
             help="parallel worker processes (default: one per sweep point, "
@@ -1055,6 +1128,7 @@ COMMANDS = {
     "fig6": cmd_fig6,
     "fig10": cmd_fig10,
     "fig15": cmd_fig15,
+    "linkchan": cmd_linkchan,
     "table2": cmd_table2,
     "bench": cmd_bench,
     "metrics": cmd_metrics,

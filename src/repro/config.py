@@ -187,6 +187,68 @@ class SweepSupervision:
         return SweepSupervision(**changes)  # type: ignore[arg-type]
 
 
+#: Inter-GPU link topologies accepted by :class:`LinkConfig`.
+LINK_TOPOLOGIES = ("ring", "full", "switch")
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """Configuration of an inter-GPU (NVLink-class) fabric.
+
+    Consumed by :class:`repro.interconnect.MultiGpuSystem`: ``num_devices``
+    identical GPUs are joined by point-to-point links whose shape is
+    expressed as data by ``topology``.  Like :class:`SweepSupervision`,
+    this is deliberately *not* a set of :class:`GpuConfig` fields — the
+    golden store and result cache hash the single-GPU model alone, and a
+    fabric wrapped around N unmodified devices must not perturb those
+    keys.  Link parameters reach workloads through job ``params`` instead.
+    """
+
+    #: Number of identical GPU devices in the system.
+    num_devices: int = 2
+    #: Fabric shape: "ring" (bidirectional ring, NVLink bridge style),
+    #: "full" (a direct link per device pair, DGX hybrid-mesh style) or
+    #: "switch" (every device hangs off one central crossbar, NVSwitch
+    #: style).
+    topology: str = "ring"
+    #: Flits per cycle a link serializes.  With 40-byte flits, width 4 at
+    #: 1200 MHz core clock ≈ 192 GB/s — a pair of bonded NVLink3 bricks.
+    link_width: int = 4
+    #: One-way link traversal latency in core cycles (serdes + retimer +
+    #: PHY).  ~150 cycles each way puts an uncontended remote-L2 read at
+    #: roughly 2.5x the local round trip, matching published NVLink
+    #: peer-access measurements.
+    link_latency: int = 150
+    #: FIFO depth (flits) of the per-link TX/RX buffers.
+    link_buffer_depth: int = 16
+    #: Arbitration policy of the per-device fabric egress router.
+    arbitration: str = "rr"
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be at least 1")
+        if self.topology not in LINK_TOPOLOGIES:
+            raise ValueError(
+                f"unknown link topology {self.topology!r}; "
+                f"expected one of {LINK_TOPOLOGIES}"
+            )
+        if self.link_width < 1:
+            raise ValueError("link_width must be at least 1")
+        if self.link_latency < 1:
+            raise ValueError("link_latency must be at least 1")
+        if self.link_buffer_depth < 1:
+            raise ValueError("link_buffer_depth must be at least 1")
+        if self.arbitration not in ARBITRATION_POLICIES:
+            raise ValueError(
+                f"unknown arbitration {self.arbitration!r}; "
+                f"expected one of {ARBITRATION_POLICIES}"
+            )
+
+    def replace(self, **changes) -> "LinkConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
 @dataclass(frozen=True)
 class GpuConfig:
     """Complete configuration of the simulated GPU and its on-chip network."""

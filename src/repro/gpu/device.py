@@ -48,11 +48,29 @@ class GpuDevice:
         config: GpuConfig = VOLTA_V100,
         l1_enabled: bool = False,
         seed_salt: int = 0,
+        engine=None,
+        device_id: int = 0,
+        fabric: bool = False,
     ) -> None:
         self.config = config
         self.stats = StatsRegistry()
-        self.engine = create_engine(config.engine_strategy)
+        #: Device id within a multi-GPU system (0 standalone).
+        self.device_id = device_id
+        #: Whether this device created its engine.  A device embedded in
+        #: a :class:`repro.interconnect.MultiGpuSystem` shares the
+        #: system's engine and must not claim its single-slot hooks
+        #: (``on_reset``, ``on_fast_forward``, ``profiler``) — the system
+        #: installs fan-outs over all devices instead.
+        self._owns_engine = engine is None
+        self.engine = (
+            create_engine(config.engine_strategy) if engine is None
+            else engine
+        )
         self._seed_salt = seed_salt
+        #: Cross-device delivery hook (multi-GPU systems): called with
+        #: packets whose ``src_device`` is another device, instead of the
+        #: local SM delivery path.
+        self._cross_deliver = None
         self.clocks = ClockSystem(config, self.engine, seed_salt=seed_salt)
         #: Telemetry hub; None unless ``config.telemetry_enabled``.
         self.telemetry: Optional[Telemetry] = (
@@ -64,7 +82,7 @@ class GpuDevice:
         #: Engine self-profiler (repro.metrics); None unless
         #: ``config.metrics_enabled``.
         self.profiler = None
-        self._build(l1_enabled)
+        self._build(l1_enabled, fabric)
         if self.telemetry is not None:
             self._attach_telemetry()
         if config.metrics_enabled:
@@ -77,13 +95,14 @@ class GpuDevice:
             from ..validate.invariants import InvariantChecker
 
             InvariantChecker.attach(self)
-        self.engine.on_reset = self._reset_observability
+        if self._owns_engine:
+            self.engine.on_reset = self._reset_observability
         note_device(self)
 
     # ------------------------------------------------------------------ #
     # Construction.
     # ------------------------------------------------------------------ #
-    def _build(self, l1_enabled: bool) -> None:
+    def _build(self, l1_enabled: bool, fabric: bool = False) -> None:
         config = self.config
         engine = self.engine
         depth = config.buffer_depth
@@ -92,6 +111,19 @@ class GpuDevice:
         cap = depth * max(
             config.write_request_flits, config.read_reply_flits
         )
+
+        # -- inter-GPU fabric attachment points -------------------------- #
+        # Built only when this device joins a MultiGpuSystem: one shared
+        # egress queue toward the fabric for remote MemOps, and (below) a
+        # per-slice remote reply VOQ merged onto a reply egress queue.
+        self.fabric_inject: Optional[PacketQueue] = None
+        self.fabric_reply: Optional[PacketQueue] = None
+        self.remote_reply_mux: Optional[Mux] = None
+        self._remote_voq_index: Optional[int] = None
+        if fabric:
+            self.fabric_inject = PacketQueue(
+                f"d{self.device_id}.fab.inject", cap
+            )
 
         # -- per-SM injection queues + SMs ------------------------------ #
         self.inject_queues: List[PacketQueue] = [
@@ -106,6 +138,8 @@ class GpuDevice:
                 stats=self.stats,
                 l1_enabled=l1_enabled,
                 seed_salt=self._seed_salt,
+                device_id=self.device_id,
+                remote_queue=self.fabric_inject,
             )
             for sm in range(config.num_sms)
         ]
@@ -205,6 +239,26 @@ class GpuDevice:
 
             def slice_reply_route(packet: Packet) -> int:
                 return 0
+        if fabric:
+            # One extra "remote" VOQ per slice: replies to a foreign
+            # device leave through the fabric instead of a GPC reply
+            # port, so local reply traffic never head-of-line blocks
+            # behind a congested inter-GPU link (and vice versa).
+            self._remote_voq_index = len(self.l2_reply_voqs[0])
+            for s in range(config.num_l2_slices):
+                self.l2_reply_voqs[s].append(
+                    PacketQueue(
+                        f"d{self.device_id}.l2s{s}.reply.rmt", cap * 2
+                    )
+                )
+            local_reply_route = slice_reply_route
+            device_id = self.device_id
+            remote_index = self._remote_voq_index
+
+            def slice_reply_route(packet: Packet) -> int:
+                if packet.src_device != device_id:
+                    return remote_index
+                return local_reply_route(packet)
         slices_per_mc = max(1, config.num_l2_slices // len(self.controllers))
         self.l2_slices: List[L2Slice] = [
             L2Slice(
@@ -260,6 +314,27 @@ class GpuDevice:
                     stats=self.stats,
                 )
             ]
+        if fabric:
+            # Reply egress toward the fabric: merge every slice's remote
+            # VOQ onto one queue the fabric router consumes.
+            self.fabric_reply = PacketQueue(
+                f"d{self.device_id}.fab.reply", cap * 2
+            )
+            self.remote_reply_mux = Mux(
+                f"d{self.device_id}.fab.replymux",
+                [
+                    voqs[self._remote_voq_index]
+                    for voqs in self.l2_reply_voqs
+                ],
+                self.fabric_reply,
+                width=config.gpc_reply_width,
+                policy=make_policy(
+                    "rr",
+                    config.num_l2_slices,
+                    seed=config.seed + 400 + self.device_id,
+                ),
+                stats=self.stats,
+            )
         self.reply_distributors: List[GpcReplyDistributor] = [
             GpcReplyDistributor(
                 gpc,
@@ -285,6 +360,8 @@ class GpuDevice:
         engine.register_all(self.l2_slices)
         engine.register_all(self.controllers)
         engine.register_all(self.reply_muxes)
+        if self.remote_reply_mux is not None:
+            engine.register(self.remote_reply_mux)
         engine.register_all(self.reply_distributors)
         self._wire_wakes()
         if config.engine_strategy == "vector":
@@ -315,11 +392,15 @@ class GpuDevice:
             self.l2_request_queues[s].on_push = self.l2_slices[s].wake
         if config.reply_voq:
             for voqs in self.l2_reply_voqs:
-                for gpc, queue in enumerate(voqs):
+                for gpc, queue in enumerate(voqs[: config.num_gpcs]):
                     queue.on_push = self.reply_muxes[gpc].wake
         else:
             for voqs in self.l2_reply_voqs:
                 voqs[0].on_push = self.reply_muxes[0].wake
+        if self.remote_reply_mux is not None:
+            mux_wake = self.remote_reply_mux.wake
+            for voqs in self.l2_reply_voqs:
+                voqs[self._remote_voq_index].on_push = mux_wake
         for gpc in range(config.num_gpcs):
             self.gpc_reply_queues[gpc].on_push = (
                 self.reply_distributors[gpc].wake
@@ -361,6 +442,18 @@ class GpuDevice:
         for sm in self.sms:
             sm._vec = True
             self.inject_queues[sm.sm_id].on_space = sm.wake
+        if self.fabric_inject is not None:
+            # The fabric egress queue is shared by every SM of the
+            # device; waking all of them on freed space is a superset of
+            # the precise wake and each extra tick is a state-preserving
+            # no-op, so equivalence with the scalar strategies holds.
+            sms = self.sms
+
+            def _wake_sms() -> None:
+                for sm in sms:
+                    sm.wake()
+
+            self.fabric_inject.on_space = _wake_sms
 
         # Sole-contender packet batching on the TPC muxes: only
         # profitable where a packet spans >2 cycles of channel occupancy
@@ -453,7 +546,8 @@ class GpuDevice:
             hub.timeline.register_queue(queue)
         # Registered last: meters flush after every producer has ticked.
         self.engine.register(TimelineProbe(hub.timeline))
-        self.engine.on_fast_forward = hub.note_fast_forward
+        if self._owns_engine:
+            self.engine.on_fast_forward = hub.note_fast_forward
 
     def _attach_profiler(self) -> None:
         """Wire a sampled engine self-profiler (``config.metrics_enabled``).
@@ -469,8 +563,12 @@ class GpuDevice:
         self.profiler = EngineProfiler(
             interval=config.metrics_interval,
             strategy=config.engine_strategy,
+            # Standalone devices keep their label set unchanged; devices
+            # embedded in a multi-GPU system add a ``device`` dimension.
+            device=(None if self._owns_engine else self.device_id),
         )
-        self.engine.profiler = self.profiler
+        if self._owns_engine:
+            self.engine.profiler = self.profiler
         for mux in self.tpc_muxes:
             mux._profiler = self.profiler
         for mux in self.gpc_muxes:
@@ -500,6 +598,14 @@ class GpuDevice:
         l2_slice.dram_complete(packet, cycle)
 
     def _deliver_reply(self, packet: Packet, cycle: int) -> None:
+        if packet.src_device != self.device_id:
+            # A completion owed to a foreign device (in practice the
+            # posted-write credit of a remote store, returned at L2
+            # acceptance — the same convention as local posted writes,
+            # whose acks are free).  Read replies never take this path:
+            # they leave through the remote reply VOQs.
+            self._cross_deliver(packet, cycle)
+            return
         if self._validator is not None:
             self._validator.note_deliver(packet, cycle)
         self.sms[packet.src_sm].deliver_reply(packet, cycle)
@@ -621,3 +727,8 @@ class GpuDevice:
     @property
     def cycle(self) -> int:
         return self.engine.cycle
+
+    @property
+    def all_idle(self) -> bool:
+        """Every stream on this device has drained."""
+        return self.scheduler.all_idle

@@ -53,13 +53,22 @@ from .warp import (
 class _Transaction:
     """One coalesced memory transaction in flight from a warp."""
 
-    __slots__ = ("warp", "kind", "address", "sm_id")
+    __slots__ = ("warp", "kind", "address", "sm_id", "device")
 
-    def __init__(self, warp: WarpSlot, kind: str, address: int, sm_id: int):
+    def __init__(
+        self,
+        warp: WarpSlot,
+        kind: str,
+        address: int,
+        sm_id: int,
+        device: Optional[int] = None,
+    ):
         self.warp = warp
         self.kind = kind
         self.address = address
         self.sm_id = sm_id
+        #: Remote target device id; None for a local (on-chip) access.
+        self.device = device
 
 
 class StreamingMultiprocessor(Component):
@@ -74,11 +83,19 @@ class StreamingMultiprocessor(Component):
         stats: Optional[StatsRegistry] = None,
         l1_enabled: bool = False,
         seed_salt: int = 0,
+        device_id: int = 0,
+        remote_queue: Optional[PacketQueue] = None,
     ) -> None:
         self.sm_id = sm_id
         self.name = f"sm{sm_id}"
         self.config = config
         self.inject_queue = inject_queue
+        #: Device this SM belongs to (multi-GPU systems; 0 standalone).
+        self.device_id = device_id
+        #: Egress queue toward the inter-GPU fabric.  Remote ``MemOp``s
+        #: inject here instead of the on-chip NoC; None on a standalone
+        #: device, where remote ops are a configuration error.
+        self.remote_queue = remote_queue
         self._read_clock = read_clock
         self.stats = stats
         self.l1 = L1Cache(
@@ -298,6 +315,22 @@ class StreamingMultiprocessor(Component):
         self._group_counter += 1
         warp.op_group = (self.sm_id << 20) | self._group_counter
         warp.outstanding = 0
+        remote = op.device is not None and op.device != self.device_id
+        if remote and self.remote_queue is None:
+            raise RuntimeError(
+                f"{self.name}: remote MemOp targets device {op.device} "
+                "but this SM has no inter-GPU fabric attached"
+            )
+        if remote:
+            # Peer accesses bypass the local L1 entirely (NVLink peer
+            # loads/stores are not cached on the requesting die) and
+            # enter the fabric egress instead of the on-chip NoC.
+            warp.pending_issue = [
+                _Transaction(warp, op.kind, address, self.sm_id, op.device)
+                for address in lines
+            ]
+            warp.state = ISSUING
+            return
         pending: List[_Transaction] = []
         for address in lines:
             if op.kind == READ and self.l1.lookup_read(address):
@@ -341,8 +374,15 @@ class StreamingMultiprocessor(Component):
             warp_ref=warp,
             group_id=warp.op_group,
             birth_cycle=cycle,
+            src_device=self.device_id,
+            dst_device=(
+                self.device_id if txn.device is None else txn.device
+            ),
         )
-        if not self.inject_queue.push(packet):
+        queue = (
+            self.inject_queue if txn.device is None else self.remote_queue
+        )
+        if not queue.push(packet):
             return False
         if txn.kind == READ:
             self._read_credits -= 1
@@ -392,7 +432,10 @@ class StreamingMultiprocessor(Component):
         self.wake()
         if packet.kind == READ:
             self._read_credits += 1
-            self.l1.fill(packet.address)
+            if packet.dst_device == self.device_id:
+                # Remote reads are not cached locally (peer accesses
+                # bypass the L1 in both directions).
+                self.l1.fill(packet.address)
         else:
             self._write_credits += 1
         warp = packet.warp_ref
@@ -485,6 +528,10 @@ class StreamingMultiprocessor(Component):
             tuple(sorted(ready for ready, _ in self._l1_returns)),
             hash(self._rng.getstate()[1]),
             self.inject_queue.state_digest(),
+            (
+                None if self.remote_queue is None
+                else self.remote_queue.state_digest()
+            ),
         )
 
     def reset(self) -> None:

@@ -54,11 +54,17 @@ class MemOp(Action):
         If False (default for writes) the warp is resumed as soon as the
         last transaction has been accepted by the memory system (posted
         stores) and the latency reflects only the issue time.
+    device:
+        Target device id for multi-GPU systems.  ``None`` (the default)
+        targets the issuing SM's own device through the on-chip NoC; an
+        integer routes the access over the inter-GPU fabric to that
+        device's L2 (NVLink-style peer access), bypassing the local L1.
     """
 
     kind: str
     addresses: Sequence[int]
     wait_for_completion: Optional[bool] = None
+    device: Optional[int] = None
 
     def blocking(self) -> bool:
         if self.wait_for_completion is None:

@@ -1,0 +1,26 @@
+"""Multi-GPU interconnect: NVLink-class links between GpuDevices.
+
+Public surface:
+
+* :class:`~repro.config.LinkConfig` — fabric shape and link parameters
+  (re-exported from :mod:`repro.config`).
+* :func:`~repro.interconnect.topology.build_topology` — resolve a
+  ``LinkConfig`` to nodes, directed links and next-hop routes.
+* :class:`~repro.interconnect.system.MultiGpuSystem` — N devices on one
+  engine joined by routers, serializing link pipes and ingress shims.
+"""
+
+from ..config import LINK_TOPOLOGIES, LinkConfig
+from .link import FabricIngress, LinkPipe
+from .system import MultiGpuSystem
+from .topology import FabricTopology, build_topology
+
+__all__ = [
+    "LINK_TOPOLOGIES",
+    "LinkConfig",
+    "FabricIngress",
+    "LinkPipe",
+    "FabricTopology",
+    "build_topology",
+    "MultiGpuSystem",
+]

@@ -1,0 +1,122 @@
+"""Inter-GPU fabric topologies expressed as data.
+
+A topology is a set of *nodes* (the GPU devices, plus one extra hub node
+for the NVSwitch-style star), a list of directed point-to-point links,
+and a precomputed next-hop table.  Everything downstream — the per-node
+routers, the link pipes, the covert-channel placement — consumes this
+record; adding a topology means adding a builder here, not new wiring
+code.
+
+Three shapes cover the systems the NVLink side-channel papers study:
+
+* ``ring``   — each device links to its two neighbours (NVLink bridge
+  boards, pre-NVSwitch DGX rings).  Shortest-direction routing, ties
+  broken clockwise.
+* ``full``   — a direct link per ordered device pair (the hybrid mesh of
+  small DGX boxes).
+* ``switch`` — every device hangs off one central crossbar node
+  (NVSwitch); all traffic crosses exactly two links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..config import LinkConfig
+
+
+@dataclass(frozen=True)
+class FabricTopology:
+    """A fabric shape resolved to nodes, links and routes.
+
+    Attributes
+    ----------
+    num_devices:
+        GPU device count; device ids double as node ids ``0..N-1``.
+    num_nodes:
+        Devices plus any switch hub nodes.
+    links:
+        Directed point-to-point links ``(src_node, dst_node)``; each
+        becomes one serializing :class:`~repro.interconnect.link.LinkPipe`.
+    next_hop:
+        ``next_hop[node][target_device]`` is the neighbour node a packet
+        bound for ``target_device`` leaves ``node`` toward, or ``-1``
+        when ``node`` *is* the target.
+    """
+
+    num_devices: int
+    num_nodes: int
+    links: Tuple[Tuple[int, int], ...]
+    next_hop: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def switch_nodes(self) -> Tuple[int, ...]:
+        """Hub nodes that are switches rather than devices."""
+        return tuple(range(self.num_devices, self.num_nodes))
+
+
+def _ring(n: int) -> FabricTopology:
+    links: List[Tuple[int, int]] = []
+    for d in range(n):
+        fwd = (d + 1) % n
+        back = (d - 1) % n
+        links.append((d, fwd))
+        if back != fwd:  # n == 2 collapses both directions onto one pair
+            links.append((d, back))
+    next_hop: List[Tuple[int, ...]] = []
+    for node in range(n):
+        row = []
+        for target in range(n):
+            if target == node:
+                row.append(-1)
+                continue
+            fwd_dist = (target - node) % n
+            back_dist = (node - target) % n
+            # Shortest direction; clockwise on ties (deterministic).
+            if fwd_dist <= back_dist:
+                row.append((node + 1) % n)
+            else:
+                row.append((node - 1) % n)
+        next_hop.append(tuple(row))
+    return FabricTopology(n, n, tuple(links), tuple(next_hop))
+
+
+def _full(n: int) -> FabricTopology:
+    links = tuple(
+        (a, b) for a in range(n) for b in range(n) if a != b
+    )
+    next_hop = tuple(
+        tuple(-1 if t == node else t for t in range(n))
+        for node in range(n)
+    )
+    return FabricTopology(n, n, links, next_hop)
+
+
+def _switch(n: int) -> FabricTopology:
+    hub = n
+    links: List[Tuple[int, int]] = []
+    for d in range(n):
+        links.append((d, hub))
+        links.append((hub, d))
+    next_hop: List[Tuple[int, ...]] = [
+        tuple(-1 if t == node else hub for t in range(n))
+        for node in range(n)
+    ]
+    next_hop.append(tuple(range(n)))  # the hub reaches every device directly
+    return FabricTopology(n, n + 1, tuple(links), tuple(next_hop))
+
+
+_BUILDERS = {"ring": _ring, "full": _full, "switch": _switch}
+
+
+def build_topology(link: LinkConfig) -> FabricTopology:
+    """Resolve a :class:`~repro.config.LinkConfig` to its route data."""
+    try:
+        builder = _BUILDERS[link.topology]
+    except KeyError:  # pragma: no cover - LinkConfig already validates
+        raise ValueError(f"unknown link topology {link.topology!r}") from None
+    if link.num_devices == 1:
+        # A degenerate single-device "system": no links, no routes.
+        return FabricTopology(1, 1, (), ((-1,),))
+    return builder(link.num_devices)

@@ -171,12 +171,34 @@ class Regression:
 
 @dataclass
 class HistoryCheck:
-    """Outcome of comparing one bench report against its history."""
+    """Outcome of comparing one bench report against its history.
+
+    The two degraded comparison modes are explicit rather than silent:
+
+    * ``short_history`` — fewer comparable prior runs than the requested
+      ``window``.  The floor check still ran, but its median is noisier
+      than a full window's; callers deciding to gate on the result can
+      tell the difference.
+    * ``zero_median`` — ``workload/strategy`` series whose trailing
+      median was ``<= 0`` (corrupt or placeholder records).  A
+      nonpositive median cannot form a floor, so these series are
+      *excluded* from the regression check and named here instead of
+      passing silently.
+    """
 
     baseline_runs: int
     compared: int
     regressions: List[Regression] = field(default_factory=list)
     skipped_reason: str = ""
+    #: The window the caller asked for (trailing records per series).
+    window: int = DEFAULT_WINDOW
+    #: Series (``"workload/strategy"``) skipped for nonpositive medians.
+    zero_median: List[str] = field(default_factory=list)
+
+    @property
+    def short_history(self) -> bool:
+        """True when the baseline had fewer records than the window."""
+        return 0 < self.baseline_runs < self.window
 
     @property
     def ok(self) -> bool:
@@ -189,6 +211,17 @@ class HistoryCheck:
             f"bench-history: {self.compared} throughputs vs "
             f"{self.baseline_runs} comparable prior runs"
         ]
+        if self.short_history:
+            out.append(
+                f"bench-history: short history "
+                f"({self.baseline_runs}/{self.window} records) — "
+                f"median floor is provisional"
+            )
+        for series in self.zero_median:
+            out.append(
+                f"bench-history: {series} has a nonpositive trailing "
+                f"median — series skipped, check its history records"
+            )
         out.extend(r.line() for r in self.regressions)
         if not self.regressions and self.compared:
             out.append("bench-history: no regression beyond threshold")
@@ -207,6 +240,13 @@ def check_history(
     Only records with the same bench-config hash *and* the same host
     fingerprint are comparable.  Call this *before* appending the fresh
     record so the baseline never includes the run under test.
+
+    Degraded baselines are reported, never silently absorbed (see
+    :class:`HistoryCheck`): with no comparable records at all the check
+    is skipped with ``skipped_reason`` set; with fewer records than
+    ``window`` it runs and sets :attr:`HistoryCheck.short_history`; a
+    series whose trailing median is ``<= 0`` cannot form a floor and is
+    listed in :attr:`HistoryCheck.zero_median` instead of passing.
     """
     current = bench_record(report, scale=scale)
     history = load_history(path)
@@ -217,13 +257,15 @@ def check_history(
     ][-window:]
     if not baseline:
         return HistoryCheck(
-            baseline_runs=0, compared=0,
+            baseline_runs=0, compared=0, window=window,
             skipped_reason=(
                 "no comparable prior runs (config or host changed, or "
                 "history is empty)"
             ),
         )
-    check = HistoryCheck(baseline_runs=len(baseline), compared=0)
+    check = HistoryCheck(
+        baseline_runs=len(baseline), compared=0, window=window
+    )
     for workload, per_strategy in current["throughputs"].items():
         for strategy, value in per_strategy.items():
             prior = [
@@ -235,9 +277,14 @@ def check_history(
             ]
             if not prior:
                 continue
-            check.compared += 1
             median = _median(prior)
-            if median > 0 and value < median * (1.0 - threshold):
+            if median <= 0:
+                # A nonpositive floor would "pass" any value, including
+                # a real regression — name the series instead.
+                check.zero_median.append(f"{workload}/{strategy}")
+                continue
+            check.compared += 1
+            if value < median * (1.0 - threshold):
                 check.regressions.append(Regression(
                     workload=workload,
                     strategy=strategy,

@@ -43,6 +43,7 @@ class EngineProfiler:
         interval: int = DEFAULT_INTERVAL,
         registry: Optional[MetricsRegistry] = None,
         strategy: str = "active",
+        device: Optional[int] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("profiler interval must be positive")
@@ -50,6 +51,10 @@ class EngineProfiler:
         self.next_sample = 0
         self.registry = registry if registry is not None else MetricsRegistry()
         labels = {"strategy": strategy}
+        if device is not None:
+            # Multi-GPU systems profile per device; standalone devices
+            # keep the historical single-label series names.
+            labels["device"] = str(device)
         self._active = self.registry.sampler(
             "engine_active_set_size",
             "Scheduled components per busy cycle (sampled)", **labels,

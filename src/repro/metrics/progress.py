@@ -153,11 +153,34 @@ class SweepProgress:
         self.stream.flush()
 
     def close(self) -> None:
-        """Final repaint and newline; further callbacks are ignored."""
+        """Final repaint and newline; further callbacks are ignored.
+
+        Idempotent, and the terminating newline is guaranteed on TTYs
+        even when the final repaint itself raises (a sweep dying
+        mid-flight must not leave the shell prompt glued to a partial
+        ``\\r`` status line).
+        """
         if self._closed:
             return
-        self.render(force=True)
-        self._closed = True
-        if self._tty:
-            self.stream.write("\n")
-            self.stream.flush()
+        try:
+            self.render(force=True)
+        finally:
+            self._closed = True
+            if self._tty:
+                try:
+                    self.stream.write("\n")
+                    self.stream.flush()
+                except (OSError, ValueError):
+                    pass  # stream already torn down; nothing to unpaint
+
+    # ------------------------------------------------------------------ #
+    # Context management: `with SweepProgress(...) as p:` guarantees the
+    # line is terminated on every exit path — normal completion, sweep
+    # exceptions, and KeyboardInterrupt alike.
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "SweepProgress":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -44,6 +44,14 @@ class Packet:
     group_id:
         Warp-level group tag used by coarse-grain round-robin arbitration
         (all transactions of one warp memory op share a group id).
+    src_device:
+        Device id of the GPU whose SM issued the transaction.  0 on a
+        single-GPU system; the inter-GPU fabric routes replies back
+        toward it.
+    dst_device:
+        Device id of the GPU whose L2 serves the transaction.  Equal to
+        ``src_device`` for local accesses; the fabric routes requests
+        toward it.
     req_uid:
         On a reply packet, the ``uid`` of the request it answers (-1 on
         requests).  The conservation checker uses it to match a delivery
@@ -60,6 +68,8 @@ class Packet:
     group_id: int = -1
     #: Cycle the packet was created (age-based arbitration, latency stats).
     birth_cycle: int = 0
+    src_device: int = 0
+    dst_device: int = 0
     req_uid: int = -1
     uid: int = field(default_factory=lambda: next(_packet_ids))
 
@@ -75,6 +85,8 @@ class Packet:
             warp_ref=self.warp_ref,
             group_id=self.group_id,
             birth_cycle=cycle,
+            src_device=self.src_device,
+            dst_device=self.dst_device,
             req_uid=self.uid,
         )
 
@@ -95,4 +107,6 @@ class Packet:
             self.slice_id,
             self.group_id,
             self.birth_cycle,
+            self.src_device,
+            self.dst_device,
         )

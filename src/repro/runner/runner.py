@@ -114,10 +114,25 @@ def _select(
     it keeps sweep-wide aggregates honest: cache hits and journal
     replays would double-count observations recorded by an earlier run,
     and failed slots hold :class:`JobFailure` records, not results.
+
+    An index outside ``results`` means the caller paired a ``fresh``
+    list with a result list from a *different* sweep (stale journal,
+    truncated results) — an aggregate silently computed over the
+    surviving indices would be wrong, so this raises instead of
+    dropping them.
     """
     if fresh is None:
         return results
-    return [results[index] for index in fresh if 0 <= index < len(results)]
+    out = []
+    for index in fresh:
+        if not 0 <= index < len(results):
+            raise IndexError(
+                f"fresh index {index} out of range for {len(results)} "
+                f"results — fresh list and results are from different "
+                f"sweeps"
+            )
+        out.append(results[index])
+    return out
 
 
 def merge_telemetry(

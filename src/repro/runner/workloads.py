@@ -105,3 +105,47 @@ def channel_run(
     """Generic seeded channel transmission (used by examples/benchmarks)."""
     channel = _build_channel(config, kind)
     return _measure(channel, num_bits, seed)
+
+
+def link_channel_point(
+    config: GpuConfig,
+    iteration_count: int = 2,
+    bits: int = 16,
+    seed: int = 3021,
+    num_devices: int = 2,
+    topology: str = "ring",
+    link_width: int = 4,
+    link_latency: int = 150,
+    target_device: int = 1,
+) -> Dict[str, Any]:
+    """One NVLink-channel sweep point: bandwidth + error at one
+    iteration count over a multi-GPU fabric.
+
+    The fabric shape arrives as plain keyword parameters (not a
+    :class:`~repro.config.LinkConfig`) so the job stays picklable and
+    its cache key remains a flat parameter dict.
+    """
+    from ..channel.link_channel import LinkCovertChannel
+    from ..config import LinkConfig
+
+    link = LinkConfig(
+        num_devices=num_devices,
+        topology=topology,
+        link_width=link_width,
+        link_latency=link_latency,
+    )
+    probe = LinkCovertChannel(config, link, target_device=target_device)
+    params = probe.params.with_(iterations=iteration_count)
+    channel = LinkCovertChannel(
+        config, link, params=params,
+        seed_salt=seed, target_device=target_device,
+    )
+    measured = _measure(channel, bits, seed)
+    return {
+        "iterations": iteration_count,
+        "topology": topology,
+        "num_devices": num_devices,
+        "bandwidth_kbps": measured["bandwidth_bps"] / 1e3,
+        "error_rate": measured["error_rate"],
+        "cycles": measured["cycles"],
+    }

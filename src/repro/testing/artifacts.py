@@ -238,6 +238,31 @@ def _artifact_list() -> List[Artifact]:
             ),
         ),
         Artifact(
+            id="linkchan",
+            title="Inter-GPU link covert channel (NVLink-class fabric)",
+            fn="repro.testing.workloads.linkchan_metrics",
+            scales={"small": {"iterations": (1, 2), "bits": 8}},
+            shrink_configs=(_ONE_GPC,),
+            expectations=(
+                monotonic(
+                    "linkchan.bandwidth_falls", "bandwidth_kbps",
+                    direction="decreasing",
+                    claim="bandwidth falls as iterations rise",
+                ),
+                below(
+                    "linkchan.error_vanishes", "final_error", 0.05,
+                    claim="error is gone by the highest iteration count",
+                ),
+                Expectation(
+                    id="linkchan.bandwidth_positive", kind="band",
+                    metrics=("min_bandwidth_kbps",),
+                    band=(1.0, float("inf")),
+                    claim="the link channel moves bits at every "
+                          "iteration count",
+                ),
+            ),
+        ),
+        Artifact(
             id="table2",
             title="Measured channel summary (Table 2)",
             fn="repro.testing.workloads.table2_metrics",

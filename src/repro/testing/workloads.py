@@ -152,6 +152,40 @@ def fig15_metrics(
     }
 
 
+def linkchan_metrics(
+    config: GpuConfig,
+    iterations: Sequence[int] = (1, 2),
+    bits: int = 8,
+) -> Dict[str, Any]:
+    """NVLink-class link channel: bandwidth/error vs iteration count.
+
+    Runs the 2-device ring :class:`~repro.channel.link_channel.
+    LinkCovertChannel` sweep the ``linkchan`` CLI command exposes, at
+    golden-harness size.  ``min_bandwidth_kbps`` pins the acceptance
+    floor (the channel must actually move bits) and ``final_error`` the
+    highest-iteration error rate.
+    """
+    from ..runner.workloads import link_channel_point
+
+    bandwidth: list = []
+    error: list = []
+    for count in iterations:
+        row = link_channel_point(
+            config,
+            iteration_count=count,
+            bits=bits,
+            seed=3000 + config.seed,
+        )
+        bandwidth.append(row["bandwidth_kbps"])
+        error.append(row["error_rate"])
+    return {
+        "bandwidth_kbps": bandwidth,
+        "error_rate": error,
+        "final_error": error[-1],
+        "min_bandwidth_kbps": min(bandwidth),
+    }
+
+
 def table2_metrics(
     config: GpuConfig, bits_per_channel: int = 6
 ) -> Dict[str, Any]:

@@ -79,6 +79,22 @@ class LockstepOracle:
         every other strategy is compared against.  Defaults to the PR-2
         pair ``("naive", "active")``; pass all of
         :data:`~repro.config.ENGINE_STRATEGIES` for a three-way check.
+    builder:
+        Optional factory called with the strategy-patched config; must
+        return a built target exposing ``.engine`` and ``.all_idle`` (a
+        :class:`GpuDevice` by default).  This is how multi-device
+        systems join the oracle::
+
+            LockstepOracle(
+                cfg, stimulus,
+                builder=lambda c: MultiGpuSystem(c, LinkConfig(2)),
+                strategies=ENGINE_STRATEGIES,
+            )
+
+        Because a :class:`~repro.interconnect.MultiGpuSystem` registers
+        every device and fabric component on one shared engine in a
+        deterministic order, the positional digest comparison works on
+        it unchanged.
     """
 
     def __init__(
@@ -88,6 +104,7 @@ class LockstepOracle:
         compare_every: int = 64,
         l1_enabled: bool = False,
         strategies: Sequence[str] = DEFAULT_STRATEGIES,
+        builder: Optional[Callable[[GpuConfig], object]] = None,
     ) -> None:
         if compare_every <= 0:
             raise ValueError("compare_every must be positive")
@@ -101,16 +118,20 @@ class LockstepOracle:
         self.compare_every = compare_every
         self.l1_enabled = l1_enabled
         self.strategies = tuple(strategies)
+        self.builder = builder
 
     # ------------------------------------------------------------------ #
-    def _build(self, strategy: str) -> GpuDevice:
+    def _build(self, strategy: str):
         config = dataclasses.replace(self.config, engine_strategy=strategy)
-        device = GpuDevice(config, l1_enabled=self.l1_enabled)
+        if self.builder is not None:
+            target = self.builder(config)
+        else:
+            target = GpuDevice(config, l1_enabled=self.l1_enabled)
         if self.stimulus is not None:
-            self.stimulus(device)
-        return device
+            self.stimulus(target)
+        return target
 
-    def _build_all(self) -> List[GpuDevice]:
+    def _build_all(self) -> List:
         return [self._build(strategy) for strategy in self.strategies]
 
     def _compare(
@@ -155,7 +176,7 @@ class LockstepOracle:
             if mismatch is not None:
                 return self._bisect(last_good, cycle)
             last_good = cycle
-            if all(device.scheduler.all_idle for device in devices):
+            if all(device.all_idle for device in devices):
                 break
         return None
 
@@ -196,9 +217,11 @@ def verify_equivalence(
     max_cycles: int = 200_000,
     compare_every: int = 64,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    builder: Optional[Callable[[GpuConfig], object]] = None,
 ) -> Optional[Divergence]:
     """One-shot helper: run the oracle, return its verdict."""
     oracle = LockstepOracle(
-        config, stimulus, compare_every=compare_every, strategies=strategies
+        config, stimulus, compare_every=compare_every, strategies=strategies,
+        builder=builder,
     )
     return oracle.run(max_cycles=max_cycles)

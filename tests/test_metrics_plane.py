@@ -325,6 +325,47 @@ class TestSweepProgress:
         progress.on_event("launch", {"index": 9, "attempt": 1})
         assert len(stream.getvalue()) == size
 
+    def _tty_progress(self):
+        class TtyStream(io.StringIO):
+            def isatty(self):
+                return True
+
+        stream = TtyStream()
+        return SweepProgress("demo", total=4, stream=stream), stream
+
+    def test_tty_newline_on_keyboard_interrupt(self):
+        """A sweep killed mid-flight must not leave a partial \\r line."""
+        progress, stream = self._tty_progress()
+        with pytest.raises(KeyboardInterrupt):
+            with progress:
+                progress.progress(1, 4)  # paints "\r demo ..."
+                raise KeyboardInterrupt
+        assert stream.getvalue().endswith("\n")
+        assert progress._closed
+
+    def test_tty_newline_on_exception(self):
+        progress, stream = self._tty_progress()
+        with pytest.raises(RuntimeError):
+            with progress:
+                progress.progress(2, 4)
+                raise RuntimeError("worker crashed")
+        assert stream.getvalue().endswith("\n")
+
+    def test_close_survives_torn_down_stream(self):
+        """The final repaint raising must still mark the renderer closed
+        and must not mask the teardown with a second exception."""
+        progress, stream = self._tty_progress()
+        progress.progress(1, 4)
+
+        def broken_write(text):
+            raise OSError("stream gone")
+
+        stream.write = broken_write
+        with pytest.raises(OSError):
+            progress.close()  # repaint raises; newline failure swallowed
+        assert progress._closed
+        progress.close()  # idempotent even after the failure
+
 
 class TestHistory:
     def _report(self, factor=1.0):
@@ -385,6 +426,41 @@ class TestHistory:
         }
         assert bad.regressions[0].drop_frac == pytest.approx(0.3)
         assert "REGRESSION" in bad.regressions[0].line()
+
+    def test_short_history_is_explicit(self, tmp_path):
+        """Fewer prior records than the window still compares, but the
+        degraded baseline is flagged instead of passing silently."""
+        path = tmp_path / "hist.jsonl"
+        append_history(bench_record(self._report(), timestamp=1.0), path)
+        check = check_history(self._report(), path=path, window=8)
+        assert check.compared == 2
+        assert check.baseline_runs == 1
+        assert check.short_history
+        assert any("short history" in line for line in check.lines())
+        # A full window is not short.
+        for ts in range(2, 10):
+            append_history(
+                bench_record(self._report(), timestamp=float(ts)), path
+            )
+        full = check_history(self._report(), path=path, window=8)
+        assert not full.short_history
+        assert not any("short history" in line for line in full.lines())
+
+    def test_zero_median_is_named_not_passed(self, tmp_path):
+        """A nonpositive trailing median cannot form a floor: the series
+        is excluded from the comparison and listed, never silently OK."""
+        path = tmp_path / "hist.jsonl"
+        for ts in (1.0, 2.0, 3.0):
+            append_history(
+                bench_record(self._report(factor=0.0), timestamp=ts), path
+            )
+        check = check_history(self._report(), path=path)
+        assert check.compared == 0
+        assert sorted(check.zero_median) == [
+            "tpc_channel/active", "tpc_channel/naive",
+        ]
+        assert check.ok  # no regression claim, but...
+        assert any("nonpositive" in line for line in check.lines())
 
 
 class TestSupervisedAggregation:

@@ -53,10 +53,16 @@ def test_table2_channel_summary(artifact_run):
     assert artifact_run.passed, artifact_run.report()
 
 
+@paper_artifact("linkchan")
+def test_linkchan_link_channel(artifact_run):
+    assert artifact_run.passed, artifact_run.report()
+
+
 def test_every_small_artifact_has_a_marker_test():
     """Adding a small-scale artifact without a test here should fail."""
     covered = {
         "fig2", "fig5a", "fig7_8", "fig10a", "fig14", "fig15", "table2",
+        "linkchan",
     }
     registered = {a.id for a in artifacts_for_scale("small")}
     assert registered == covered, (

@@ -291,6 +291,38 @@ class TestQuarantine:
         assert len(list((tmp_path / "_quarantine").glob("*.json"))) == 2
 
 
+class TestFreshSelection:
+    """Pinned regression: out-of-range ``fresh`` indices must raise.
+
+    ``_select`` used to drop indices outside the result list silently,
+    so an aggregate over a stale journal's fresh list quietly computed
+    a wrong answer instead of failing loudly.
+    """
+
+    def _results(self):
+        return [
+            {"telemetry": {"devices": 1, "read_latency": {}}},
+            {"telemetry": {"devices": 1, "read_latency": {}}},
+        ]
+
+    def test_valid_fresh_indices_select(self):
+        from repro.runner import merge_telemetry
+
+        merged = merge_telemetry(self._results(), fresh=[1])
+        assert merged["jobs"] == 1
+
+    def test_out_of_range_fresh_index_raises(self):
+        from repro.runner import merge_telemetry
+        from repro.runner.runner import _select
+
+        with pytest.raises(IndexError, match="different"):
+            _select(self._results(), fresh=[0, 5])
+        with pytest.raises(IndexError):
+            _select(self._results(), fresh=[-1])
+        with pytest.raises(IndexError):
+            merge_telemetry(self._results(), fresh=[2])
+
+
 class TestJobKey:
     def test_matches_cache_key(self, tmp_path):
         from repro.runner import job_key
