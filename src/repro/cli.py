@@ -350,6 +350,129 @@ def cmd_linkchan(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_serve(args) -> int:
+    """Batch capacity-query service: sweep, build surface, answer queries.
+
+    ``--once`` runs one request batch and exits: the fig10-style grid is
+    submitted through the async sweep service (content-hash dedup +
+    supervised shards + shared artifact store), a capacity surface is
+    built from the completed points, and every query in ``--queries``
+    (default: the grid itself) is answered from the surface — no
+    re-simulation for already-swept points.  Answers plus service/cache
+    counters land in the ``--answers`` JSON manifest, which is what the
+    CI ``service-smoke`` job asserts on.
+    """
+    import json as _json
+
+    from .config import ServiceConfig, SweepSupervision
+    from .runner import (
+        CapacitySurface,
+        JobFailure,
+        ResultCache,
+        SimJob,
+        serve_requests,
+    )
+
+    if not args.once:
+        print(
+            "serve: daemon mode is not implemented; pass --once for the "
+            "batch query path",
+            file=sys.stderr,
+        )
+        return 2
+    config = _config(args)
+    shape = ServiceConfig.from_env()
+    if args.shards is not None:
+        shape = shape.replace(shards=args.shards)
+    if args.execution is not None:
+        shape = shape.replace(execution=args.execution)
+    policy = SweepSupervision.from_env()
+    if args.timeout is not None:
+        policy = policy.replace(timeout_s=args.timeout)
+    if args.retries is not None:
+        policy = policy.replace(max_attempts=args.retries + 1)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(
+            max_entries=args.cache_entries, max_bytes=args.cache_bytes
+        )
+
+    # Same params (seed included) as ``fig10``, so the service shares
+    # artifact-store entries with plain sweep invocations.
+    jobs = [
+        SimJob(
+            fn="repro.runner.workloads.fig10_point",
+            config=config,
+            params={
+                "kind": args.panel,
+                "iteration_count": count,
+                "bits_per_channel": args.bits,
+                "seed": 1021 + index,
+            },
+        )
+        for index, count in enumerate(args.iterations)
+    ]
+    results, service_manifest = serve_requests(
+        [jobs], cache=cache, policy=policy, service=shape
+    )
+    rows = [r for r in results[0] if not isinstance(r, JobFailure)]
+    failures = [r for r in results[0] if isinstance(r, JobFailure)]
+    for failure in failures:
+        print(f"FAILED {failure}", file=sys.stderr)
+    if not rows:
+        print("serve: every sweep point failed; no surface", file=sys.stderr)
+        return 1
+
+    surface = CapacitySurface.from_rows(rows)
+    if args.queries is not None:
+        with open(args.queries, "r", encoding="utf-8") as handle:
+            raw_queries = _json.load(handle)
+        if not isinstance(raw_queries, list):
+            raise SystemExit("--queries must be a JSON list")
+    else:
+        raw_queries = [float(count) for count in args.iterations]
+    answers = []
+    for raw in raw_queries:
+        params = (
+            {"iterations": raw} if isinstance(raw, (int, float)) else raw
+        )
+        prediction = surface.predict(params, max_age_s=args.max_age)
+        answers.append({"query": params, **prediction.to_dict()})
+
+    print(format_table(
+        ["iterations", "bandwidth (kbps)", "error", "source", "confidence"],
+        [
+            (
+                answer["query"]["iterations"],
+                f"{answer['bandwidth_kbps']:.2f}",
+                f"{answer['error_rate']:.3f}",
+                answer["source"],
+                f"{answer['confidence']:.2f}",
+            )
+            for answer in answers
+        ],
+    ))
+    manifest = {
+        "scale": args.scale,
+        "panel": args.panel,
+        "bits": args.bits,
+        "grid": [float(count) for count in args.iterations],
+        "surface": {
+            "points": len(surface),
+            "axes": list(surface.axes),
+            "version": surface.version,
+        },
+        "service": service_manifest,
+        "answers": answers,
+        "failures": [failure.to_dict() for failure in failures],
+    }
+    if args.answers:
+        with open(args.answers, "w", encoding="utf-8") as handle:
+            _json.dump(manifest, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.answers}")
+    return 1 if failures else 0
+
+
 def cmd_fig15(args) -> int:
     from .defense import arbitration_leakage_sweep
 
@@ -903,6 +1026,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sweep manifest (points + fabric shape) as JSON",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="sweep service: run a fig10 grid through the async dedup "
+             "scheduler and answer capacity queries from the surface",
+    )
+    serve.add_argument(
+        "--once", action="store_true",
+        help="batch mode: sweep, answer queries, exit (required — daemon "
+             "mode is not implemented yet)",
+    )
+    serve.add_argument(
+        "--panel", choices=("tpc", "multi-tpc", "gpc", "multi-gpc"),
+        default="tpc",
+    )
+    serve.add_argument("--iterations", type=int, nargs="+",
+                       default=[1, 2, 4],
+                       help="swept iteration counts (the surface grid)")
+    serve.add_argument("--bits", type=int, default=8,
+                       help="payload bits per sweep point")
+    serve.add_argument(
+        "--queries", default=None, metavar="FILE",
+        help="JSON list of queries: iteration counts or "
+             "{\"iterations\": x} objects (default: the swept grid)",
+    )
+    serve.add_argument(
+        "--answers", default="serve-answers.json", metavar="FILE",
+        help="answers manifest output (default: serve-answers.json)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=None,
+        help="service shard workers (default: $REPRO_SERVICE_SHARDS or 2)",
+    )
+    serve.add_argument(
+        "--execution", choices=("supervised", "inline"), default=None,
+        help="shard backend (default: supervised worker processes)",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=None, metavar="N",
+        help="LRU-evict the artifact store beyond N entries",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="BYTES",
+        help="LRU-evict the artifact store beyond BYTES total",
+    )
+    serve.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="staleness bound: refuse answers from a surface older "
+             "than this",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the shared artifact store (.repro_cache)",
+    )
+    serve.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-job supervision timeout")
+    serve.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="extra attempts per failed job")
+
     for sweep in (fig10, table2, linkchan):
         sweep.add_argument(
             "--workers", type=int, default=None,
@@ -1129,6 +1311,7 @@ COMMANDS = {
     "fig10": cmd_fig10,
     "fig15": cmd_fig15,
     "linkchan": cmd_linkchan,
+    "serve": cmd_serve,
     "table2": cmd_table2,
     "bench": cmd_bench,
     "metrics": cmd_metrics,

@@ -249,6 +249,88 @@ class LinkConfig:
         return dataclasses.replace(self, **changes)
 
 
+#: Environment knobs for the sweep-service defaults (see
+#: :meth:`ServiceConfig.from_env`).
+SERVICE_SHARDS_ENV = "REPRO_SERVICE_SHARDS"
+SERVICE_EXECUTION_ENV = "REPRO_SERVICE_EXECUTION"
+
+#: Execution backends the sweep service can dispatch shards to.
+SERVICE_EXECUTION_MODES = ("supervised", "inline")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Shape of the async sweep service (:mod:`repro.runner.service`).
+
+    Like :class:`SweepSupervision` this is a frozen record threaded
+    through unchanged, and deliberately *not* part of
+    :class:`GpuConfig` — how many shards answer a request must never
+    perturb result-cache keys.
+
+    ``execution`` picks the shard backend: ``"supervised"`` runs every
+    job in its own worker process under the full
+    :class:`SweepSupervision` net (timeouts, retries, backoff) and is
+    the production default; ``"inline"`` executes in a thread of the
+    service process — no isolation, but cheap enough for the
+    property-based scheduler tests to run hundreds of jobs.
+    """
+
+    #: Number of shard workers draining the dispatch queue; each runs
+    #: one job at a time, so this is the service's concurrency.
+    shards: int = 2
+    #: Shard backend, one of :data:`SERVICE_EXECUTION_MODES`.
+    execution: str = "supervised"
+    #: Artifact-store bounds handed to the service's default
+    #: :class:`~repro.runner.cache.ResultCache` (None = unbounded).
+    cache_max_entries: int | None = None
+    cache_max_bytes: int | None = None
+    #: Default staleness bound (seconds) for capacity surfaces built by
+    #: the serve path; ``None`` disables the age check.
+    surface_max_age_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.execution not in SERVICE_EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution {self.execution!r}; "
+                f"expected one of {SERVICE_EXECUTION_MODES}"
+            )
+        if self.cache_max_entries is not None and self.cache_max_entries < 1:
+            raise ValueError("cache_max_entries must be positive (or None)")
+        if self.cache_max_bytes is not None and self.cache_max_bytes < 1:
+            raise ValueError("cache_max_bytes must be positive (or None)")
+        if self.surface_max_age_s is not None and self.surface_max_age_s <= 0:
+            raise ValueError("surface_max_age_s must be positive (or None)")
+
+    def replace(self, **changes) -> "ServiceConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    @staticmethod
+    def from_env() -> "ServiceConfig":
+        """Default service shape, overridable via ``REPRO_SERVICE_*``.
+
+        ``REPRO_SERVICE_SHARDS`` (int) and ``REPRO_SERVICE_EXECUTION``
+        (``supervised``/``inline``) mirror the ``REPRO_SWEEP_*``
+        convention; unset or unparsable variables fall back to the
+        dataclass defaults.
+        """
+        import os
+
+        changes: Dict[str, object] = {}
+        raw = os.environ.get(SERVICE_SHARDS_ENV)
+        if raw:
+            try:
+                changes["shards"] = int(raw)
+            except ValueError:
+                pass
+        raw = os.environ.get(SERVICE_EXECUTION_ENV)
+        if raw and raw in SERVICE_EXECUTION_MODES:
+            changes["execution"] = raw
+        return ServiceConfig(**changes)  # type: ignore[arg-type]
+
+
 @dataclass(frozen=True)
 class GpuConfig:
     """Complete configuration of the simulated GPU and its on-chip network."""

@@ -66,10 +66,34 @@ class LinkPipe(Component):
         self._busy_until = 0
         #: Packets in flight: ``(arrival_cycle, packet)`` in FIFO order.
         self._in_flight: Deque[Tuple[int, Packet]] = deque()
+        #: Link-utilization series (set by :meth:`attach_telemetry`).
+        self._tl_link = None
         # Credit stall release: when the far RX drains, try to start the
         # next packet.  The pipe is the RX queue's only on_space client
         # (the far router wakes via on_push).
         rx.on_space = self.wake
+
+    def attach_telemetry(self, hub) -> None:
+        """Opt this link into the hub's per-link utilization series.
+
+        Mirrors :meth:`repro.noc.mux.Mux.attach_telemetry`: flits are
+        recorded at serialization start, so the series measures offered
+        wire occupancy against ``width`` flits/cycle capacity.  Purely
+        observational — simulated behaviour is bit-identical either way.
+        """
+        self._tl_link = hub.timeline.register_link(self.name, self.width)
+
+    def reserved_demand(self):
+        """Yield ``(rx_queue, flits)`` for each in-flight packet.
+
+        The pipe reserves RX space at serialization start and commits at
+        arrival, so at every audit point the RX queue's reserved flits
+        must be exactly the sum over :attr:`_in_flight` — the fabric-side
+        counterpart of the switch conservation contract that
+        :class:`repro.validate.invariants.InvariantChecker` audits.
+        """
+        for _, packet in self._in_flight:
+            yield self.rx, packet.flits
 
     # ------------------------------------------------------------------ #
     def tick(self, cycle: int) -> None:
@@ -89,6 +113,8 @@ class LinkPipe(Component):
             return  # credit stall; rx.on_space re-arms us
         self.rx.reserve(head.flits)
         self.tx.pop()
+        if self._tl_link is not None:
+            self._tl_link.add(cycle, head.flits)
         serialize = -(-head.flits // self.width)  # ceil division
         self._busy_until = cycle + serialize
         self._in_flight.append((cycle + serialize + self.latency, head))

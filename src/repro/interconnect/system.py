@@ -186,6 +186,44 @@ class MultiGpuSystem:
         for d in range(topo.num_devices):
             self.delivery_queues[d].on_push = self.ingress[d].wake
 
+        # Fabric observability: each link's utilization series and its
+        # TX/RX occupancy meters land on the hub of the link's device
+        # endpoint (every edge touches at least one device in all three
+        # topologies; for device-to-device edges the *sender* owns the
+        # link, matching the on-chip "egress mux owns the wire" idiom).
+        # No-op when telemetry is disabled — hubs are None and queues
+        # keep their `meter is None` fast path.
+        for edge, pipe in zip(topo.links, self.link_pipes):
+            a, b = edge
+            hub_node = a if a < topo.num_devices else b
+            hub = self.devices[hub_node].telemetry
+            if hub is None:
+                continue
+            pipe.attach_telemetry(hub)
+            hub.timeline.register_queue(self._tx[edge])
+            hub.timeline.register_queue(self._rx[edge])
+        for d in range(topo.num_devices):
+            hub = self.devices[d].telemetry
+            if hub is None:
+                continue
+            device = self.devices[d]
+            hub.timeline.register_queue(self.delivery_queues[d])
+            if device.fabric_inject is not None:
+                hub.timeline.register_queue(device.fabric_inject)
+            if device.fabric_reply is not None:
+                hub.timeline.register_queue(device.fabric_reply)
+
+        # Fabric integrity: a dedicated checker for everything past the
+        # device edge (routers, link credit flow, delivery queues) —
+        # each device already audits its own interior via
+        # InvariantChecker.attach.  Registered last on the shared
+        # engine, so audits see settled end-of-cycle fabric state.
+        self._validator = None
+        if config.validate_enabled:
+            from ..validate.invariants import InvariantChecker
+
+            InvariantChecker.attach_system(self)
+
     def _make_route(
         self,
         node: int,

@@ -11,6 +11,19 @@ telemetry records *simulated* events inside one GPU model (flit
 lifecycles, cycle-stamped timelines); metrics record what the *service*
 around the simulator did (jobs, retries, cache hits, profiler samples)
 and aggregate across worker shards.
+
+Well-known families published by the runner stack:
+
+* ``sweep_jobs_total`` / ``sweep_attempts_total`` / ``sweep_retries_total``
+  — supervised sweep execution (:mod:`repro.runner.supervisor`);
+* ``cache_ops_total{op=hit|miss|put|eviction}`` — the shared artifact
+  store (:class:`repro.runner.cache.ResultCache`);
+* ``service_requests_total`` / ``service_jobs_total{state=...}`` /
+  ``service_inflight_jobs`` — the async sweep service
+  (:mod:`repro.runner.service`);
+* ``surface_queries_total{result=exact|interpolated|nearest}`` /
+  ``surface_points`` — the capacity-surface query layer
+  (:mod:`repro.runner.surface`).
 """
 
 from .exposition import render_manifest_prometheus, render_prometheus

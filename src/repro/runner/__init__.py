@@ -19,6 +19,17 @@ resume::
 
 and is drilled end-to-end by the chaos harness
 (:func:`repro.runner.chaos.run_chaos`, ``python -m repro chaos``).
+
+The service shape (``repro.runner.service`` + ``repro.runner.surface``)
+stacks an asyncio scheduler on the same primitives: concurrent sweep
+requests are content-hash-deduped against one in-flight future per
+:func:`job_key`, dispatched to supervised shard workers, written through
+the (optionally size-bounded, LRU-evicting) :class:`ResultCache`, and
+served back as interpolated capacity surfaces::
+
+    results, manifest = serve_requests([jobs_a, jobs_b], cache=ResultCache())
+    surface = CapacitySurface.from_rows(results[0])
+    surface.predict(iterations=3)   # -> Prediction(bandwidth, error, ...)
 """
 
 from .bench import bench_engine
@@ -33,21 +44,28 @@ from .runner import (
     resolve,
     run_jobs,
 )
+from .service import ServiceError, SweepService, serve_requests
 from .supervisor import (
     JobFailure,
     SweepError,
     SweepOutcome,
     run_supervised,
 )
+from .surface import CapacitySurface, Prediction, StaleSurfaceError
 
 __all__ = [
+    "CapacitySurface",
     "ChaosReport",
     "JobFailure",
+    "Prediction",
     "ResultCache",
+    "ServiceError",
     "SimJob",
+    "StaleSurfaceError",
     "SweepError",
     "SweepJournal",
     "SweepOutcome",
+    "SweepService",
     "bench_engine",
     "code_version",
     "execute",
@@ -59,4 +77,5 @@ __all__ = [
     "run_chaos",
     "run_jobs",
     "run_supervised",
+    "serve_requests",
 ]

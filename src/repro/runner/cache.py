@@ -24,6 +24,19 @@ result; an entry that fails to parse or verify on read is *quarantined*
 torn or corrupted state is surfaced once instead of silently re-missed.
 The root defaults to ``.repro_cache`` in the working directory and can be
 overridden with ``$REPRO_CACHE_DIR``.
+
+As the shared artifact store behind the sweep service the cache is
+optionally **size-bounded**: give it ``max_entries`` and/or ``max_bytes``
+(or set ``$REPRO_CACHE_MAX_ENTRIES`` / ``$REPRO_CACHE_MAX_BYTES``) and
+every ``put`` evicts least-recently-used entries until the store fits.
+Recency is the entry file's mtime — ``get`` touches it on every hit — so
+eviction order survives process restarts and is shared between concurrent
+writers without any lock: writes are already atomic renames, a concurrent
+eviction of a file another process is about to read is simply that
+reader's miss, and two evictors racing on the same file lose nothing but
+an ``unlink`` raising ``FileNotFoundError`` (ignored).  Hit/miss/put/
+eviction counts are published as the ``cache_ops_total`` counter family
+in the :mod:`repro.metrics` registry.
 """
 
 from __future__ import annotations
@@ -34,13 +47,30 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Environment variables for the default store bounds (unset = unbounded).
+CACHE_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
+
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"${name} must be an integer, got {raw!r}")
+    if value <= 0:
+        raise ValueError(f"${name} must be positive, got {value}")
+    return value
 
 _code_version: Optional[str] = None
 
@@ -135,12 +165,31 @@ class ResultCache:
     #: Subdirectory (under the cache root) corrupt entries are moved to.
     QUARANTINE_DIR = "_quarantine"
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        *,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        metrics: Optional[Any] = None,
+    ) -> None:
         if root is None:
             root = os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
         self.root = Path(root)
+        if max_entries is None:
+            max_entries = _env_int(CACHE_MAX_ENTRIES_ENV)
+        if max_bytes is None:
+            max_bytes = _env_int(CACHE_MAX_BYTES_ENV)
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError(f"max_entries must be positive: {max_entries}")
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive: {max_bytes}")
+        #: LRU bounds; ``None`` means unbounded on that axis.
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         #: Corrupt entries found by :meth:`get`, in discovery order:
         #: ``{"key", "path", "reason"}`` dicts.  The supervisor folds
         #: these into the sweep failure manifest so a poisoned cache is
@@ -151,6 +200,21 @@ class ResultCache:
         #: built after an in-process source edit keys on the *current*
         #: tree, not whatever the first import hashed.
         self.code_version = code_version(refresh=True)
+        # Labeled counters in the process metrics registry (or a caller
+        # scoped one), so sweep manifests expose store hit rate/pressure.
+        if metrics is None:
+            from ..metrics.registry import get_registry
+
+            metrics = get_registry()
+        help_text = "Artifact-store operations by outcome."
+        self._m_hits = metrics.counter("cache_ops_total", help_text, op="hit")
+        self._m_misses = metrics.counter(
+            "cache_ops_total", help_text, op="miss"
+        )
+        self._m_puts = metrics.counter("cache_ops_total", help_text, op="put")
+        self._m_evictions = metrics.counter(
+            "cache_ops_total", help_text, op="eviction"
+        )
 
     def key(
         self,
@@ -192,6 +256,20 @@ class ResultCache:
             {"key": key, "path": str(target), "reason": reason}
         )
 
+    def _note_miss(self) -> None:
+        self.misses += 1
+        self._m_misses.inc()
+
+    def _note_hit(self, path: Path) -> None:
+        self.hits += 1
+        self._m_hits.inc()
+        # Refresh the entry's recency stamp so LRU eviction (here or in
+        # any other process sharing the store) spares hot entries.
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # concurrently evicted; the result we read is still good
+
     def get(self, key: str) -> Optional[Any]:
         """Stored result for ``key``, or None.
 
@@ -209,17 +287,17 @@ class ResultCache:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
         except OSError:
-            self.misses += 1
+            self._note_miss()
             return None
         except json.JSONDecodeError:
             self._quarantine(key, path, "torn or non-JSON entry")
-            self.misses += 1
+            self._note_miss()
             return None
         try:
             result = entry["result"]
         except (KeyError, TypeError):
             self._quarantine(key, path, "entry has no 'result' field")
-            self.misses += 1
+            self._note_miss()
             return None
         meta = entry.get("meta") if isinstance(entry, dict) else None
         stored = meta.get("checksum") if isinstance(meta, dict) else None
@@ -229,9 +307,9 @@ class ResultCache:
                 f"checksum mismatch (stored {stored}, "
                 f"computed {result_checksum(result)})",
             )
-            self.misses += 1
+            self._note_miss()
             return None
-        self.hits += 1
+        self._note_hit(path)
         return result
 
     def meta(self, key: str) -> Optional[Dict[str, Any]]:
@@ -254,7 +332,9 @@ class ResultCache:
 
         The entry's ``meta`` always records the code version the result
         was produced under, so entries stay self-describing even when
-        inspected outside the keying scheme.
+        inspected outside the keying scheme.  When the store is bounded,
+        the write is followed by an LRU sweep that never evicts the entry
+        just written.
         """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -278,7 +358,58 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._m_puts.inc()
+        if self.max_entries is not None or self.max_bytes is not None:
+            self._evict(keep=path)
         return json.loads(encoded)["result"]
+
+    # -- LRU eviction -------------------------------------------------- #
+    def _entries(self) -> List[Tuple[float, int, Path]]:
+        """Live entries as ``(mtime, size, path)``, oldest first."""
+        entries: List[Tuple[float, int, Path]] = []
+        for path in self.root.glob("??/*.json"):
+            if path.name.startswith("."):
+                continue  # another writer's in-progress temp file
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # evicted by a concurrent writer mid-scan
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(key=lambda item: (item[0], item[2].name))
+        return entries
+
+    def _evict(self, keep: Optional[Path] = None) -> int:
+        """Unlink least-recently-used entries until the store fits.
+
+        ``keep`` (the entry the caller just wrote) is never a candidate,
+        so a pathologically small bound still leaves every ``put``
+        readable by its own writer.  Lock-free against concurrent
+        writers: a racing ``unlink`` simply means someone else evicted
+        the file first, which is not counted here.
+        """
+        entries = self._entries()
+        count = len(entries)
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for _, size, path in entries:
+            over = (
+                self.max_entries is not None and count > self.max_entries
+            ) or (self.max_bytes is not None and total > self.max_bytes)
+            if not over:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                pass  # a concurrent evictor beat us to it
+            else:
+                removed += 1
+                self.evictions += 1
+                self._m_evictions.inc()
+            count -= 1
+            total -= size
+        return removed
 
     def clear(self) -> int:
         """Delete every live entry (quarantined files are kept); returns
@@ -287,6 +418,8 @@ class ResultCache:
         if not self.root.exists():
             return removed
         for path in self.root.glob("??/*.json"):
+            if path.name.startswith("."):
+                continue  # another writer's in-progress temp file
             try:
                 path.unlink()
                 removed += 1

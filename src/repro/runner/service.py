@@ -1,0 +1,374 @@
+"""Async sweep service: dedup scheduler over a shard pool.
+
+:class:`SweepService` grows the per-call multiprocessing pool of
+:mod:`repro.runner` into a service shape: callers submit *requests*
+(lists of :class:`~repro.runner.runner.SimJob`) concurrently, and the
+scheduler guarantees each unique grid point — identified by its
+content-hash :func:`~repro.runner.cache.job_key` — executes **at most
+once** no matter how many overlapping requests are in flight:
+
+* the first request to name a key creates an in-flight future and
+  enqueues the job for a shard;
+* later requests naming the same key *attach* to that future ("late
+  subscribers") and receive the identical result object;
+* keys whose result is already in the shared artifact store
+  (:class:`~repro.runner.cache.ResultCache`) resolve immediately as
+  cache hits, without touching the dispatch queue.
+
+All scheduler state (the in-flight map, the dispatch queue, the
+counters) is owned by the asyncio event-loop thread; shards hand actual
+execution to a thread pool, where the ``"supervised"`` backend wraps
+each job in :func:`~repro.runner.supervisor.run_supervised` — one worker
+process per attempt under the full :class:`~repro.config.SweepSupervision`
+net (wall-clock timeouts, retries with deterministic backoff) — so a
+shard killed mid-job is retried, not lost.  The ``"inline"`` backend
+calls :func:`~repro.runner.runner.execute` directly in the thread; it
+trades isolation for speed and exists for dense scheduler tests.
+
+Service throughput/dedup counters land in the :mod:`repro.metrics`
+registry (``service_requests_total``, ``service_jobs_total{state=...}``)
+next to the artifact store's ``cache_ops_total`` family.
+
+Synchronous callers (CLI, tests) use :func:`serve_requests`, which runs
+an event loop for the duration of a batch of requests::
+
+    jobs_a = [SimJob(fn, config, {"iteration_count": n}) for n in grid]
+    jobs_b = jobs_a[1:] + extra          # overlaps with request A
+    results_a, results_b = serve_requests([jobs_a, jobs_b], cache=cache)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..config import ServiceConfig, SweepSupervision
+from ..metrics.registry import MetricsRegistry, get_registry
+from .cache import ResultCache
+from .journal import SweepJournal
+from .runner import execute
+from .supervisor import JobFailure, run_supervised
+
+__all__ = ["ServiceError", "SweepService", "serve_requests"]
+
+#: ``service_jobs_total`` label values, in manifest order.
+JOB_STATES = ("dispatched", "attached", "cache_hit", "completed", "failed")
+
+
+class ServiceError(RuntimeError):
+    """Misuse of the sweep service (not a job failure)."""
+
+
+class SweepService:
+    """Asyncio job scheduler with content-hash dedup and shard workers.
+
+    Parameters
+    ----------
+    cache:
+        Shared artifact store.  ``None`` disables both the hit fast-path
+        and the write-through — every submitted key then dispatches
+        (dedup still holds *within* the service's lifetime, but repeats
+        across completed requests re-execute).
+    policy:
+        Supervision policy for the ``"supervised"`` backend; defaults to
+        :meth:`SweepSupervision.from_env`.
+    service:
+        Shape record; individual keyword arguments below override its
+        fields.
+    shards / execution:
+        Overrides for :class:`~repro.config.ServiceConfig` fields.
+    journal:
+        Optional :class:`~repro.runner.journal.SweepJournal`; completed
+        and failed points are checkpointed as they settle, keyed by the
+        same content hash as the cache.
+    metrics:
+        Registry for service counters (default: the process registry).
+
+    Use as an async context manager, or call :meth:`start` / await
+    :meth:`close` explicitly.  :meth:`submit` may be called from any
+    number of tasks on the service's event loop.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        *,
+        policy: Optional[SweepSupervision] = None,
+        service: Optional[ServiceConfig] = None,
+        shards: Optional[int] = None,
+        execution: Optional[str] = None,
+        journal: Optional[SweepJournal] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        shape = service if service is not None else ServiceConfig()
+        if shards is not None:
+            shape = shape.replace(shards=shards)
+        if execution is not None:
+            shape = shape.replace(execution=execution)
+        self.config = shape
+        self.cache = cache
+        self.policy = (
+            policy if policy is not None else SweepSupervision.from_env()
+        )
+        self.journal = journal
+        self.registry = metrics if metrics is not None else get_registry()
+        #: Plain-int mirror of the labeled counters, for cheap asserts
+        #: and manifests: one slot per :data:`JOB_STATES` plus requests.
+        self.stats: Dict[str, int] = {state: 0 for state in JOB_STATES}
+        self.stats["requests"] = 0
+        help_text = "Sweep-service job dispositions by state."
+        self._m_jobs = {
+            state: self.registry.counter(
+                "service_jobs_total", help_text, state=state
+            )
+            for state in JOB_STATES
+        }
+        self._m_requests = self.registry.counter(
+            "service_requests_total", "Sweep requests accepted."
+        )
+        self._m_inflight = self.registry.gauge(
+            "service_inflight_jobs",
+            "Unique jobs awaiting a shard or executing.",
+        )
+        # One in-flight future per job key; owned by the loop thread.
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._queue: Optional[asyncio.Queue] = None
+        self._shard_tasks: List[asyncio.Task] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._journal_seq = 0
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------- #
+    async def __aenter__(self) -> "SweepService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    async def start(self) -> None:
+        """Spin up the dispatch queue and shard tasks (idempotent)."""
+        if self._started:
+            return
+        if self._closed:
+            raise ServiceError("service already closed")
+        self._queue = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.shards,
+            thread_name_prefix="repro-shard",
+        )
+        self._shard_tasks = [
+            asyncio.create_task(self._shard_loop(i), name=f"shard-{i}")
+            for i in range(self.config.shards)
+        ]
+        self._started = True
+
+    async def close(self) -> None:
+        """Drain queued work, stop the shards, release the thread pool."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        for _ in self._shard_tasks:
+            await self._queue.put(None)  # one stop token per shard
+        await asyncio.gather(*self._shard_tasks)
+        self._executor.shutdown(wait=True)
+        if self.journal is not None:
+            self.journal.flush()
+        self._closed = True
+
+    # -- request path -------------------------------------------------- #
+    def _key_for(self, job: Any) -> str:
+        version = (
+            self.cache.code_version if self.cache is not None else None
+        )
+        return _job_key_for(job, version)
+
+    async def submit(self, jobs: Sequence[Any]) -> List[Any]:
+        """Run one sweep request; returns results in job order.
+
+        Each job resolves to exactly one of: an artifact-store hit, an
+        attachment to a future some concurrent request already opened,
+        or a fresh dispatch.  Failed jobs come back as
+        :class:`~repro.runner.supervisor.JobFailure` slots (graceful
+        mode — a request never aborts siblings); inline-backend
+        exceptions propagate to every subscriber of the failed key.
+        """
+        if not self._started:
+            await self.start()
+        if self._closed:
+            raise ServiceError("service already closed")
+        self._m_requests.inc()
+        self.stats["requests"] += 1
+        loop = asyncio.get_running_loop()
+        futures: List[asyncio.Future] = []
+        for job in jobs:
+            key = self._key_for(job)
+            future = self._inflight.get(key)
+            if future is not None:
+                self._note("attached")
+                futures.append(future)
+                continue
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                self._note("cache_hit")
+                future = loop.create_future()
+                future.set_result(hit)
+                futures.append(future)
+                continue
+            future = loop.create_future()
+            self._inflight[key] = future
+            self._m_inflight.set(len(self._inflight))
+            self._note("dispatched")
+            await self._queue.put((key, job, future))
+            futures.append(future)
+        return list(await asyncio.gather(*futures))
+
+    def _note(self, state: str) -> None:
+        self.stats[state] += 1
+        self._m_jobs[state].inc()
+
+    # -- shard side ---------------------------------------------------- #
+    def _run_one(self, job: Any) -> Any:
+        """Execute one job on a shard thread; returns result or JobFailure."""
+        if self.config.execution == "inline":
+            return execute(job)
+        outcome = run_supervised(
+            [job],
+            workers=1,
+            cache=None,  # the service owns store reads/writes
+            policy=self.policy,
+            metrics=self.registry,
+        )
+        return outcome.results[0]
+
+    async def _shard_loop(self, shard_id: int) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            key, job, future = item
+            try:
+                result = await loop.run_in_executor(
+                    self._executor, self._run_one, job
+                )
+            except Exception as exc:  # inline backend raised
+                self._settle(key, future, exc, failed=True)
+            else:
+                self._settle(key, future, result,
+                             failed=isinstance(result, JobFailure))
+            finally:
+                self._queue.task_done()
+
+    def _settle(
+        self, key: str, future: asyncio.Future, result: Any, *, failed: bool
+    ) -> None:
+        """Resolve a dispatched key: store, journal, wake subscribers.
+
+        Runs on the loop thread (shard coroutine), so the in-flight map
+        mutation and the future resolution are atomic with respect to
+        :meth:`submit` — a request observing the key gone will find the
+        artifact in the store.
+        """
+        if failed:
+            self._note("failed")
+            if isinstance(result, JobFailure) and self.journal is not None:
+                self.journal.record_failure(
+                    key, self._journal_seq, result.to_dict()
+                )
+                self._journal_seq += 1
+        else:
+            if self.cache is not None:
+                # put() returns the JSON round trip — hand *that* to
+                # subscribers so a fresh run and a later store hit are
+                # type-identical.
+                result = self.cache.put(key, result)
+            if self.journal is not None:
+                self.journal.record_result(key, self._journal_seq, result)
+                self._journal_seq += 1
+            self._note("completed")
+        self._inflight.pop(key, None)
+        self._m_inflight.set(len(self._inflight))
+        if not future.done():
+            if isinstance(result, BaseException):
+                future.set_exception(result)
+            else:
+                future.set_result(result)
+
+    # -- manifests ----------------------------------------------------- #
+    def manifest(self) -> Dict[str, Any]:
+        """Counter snapshot for answer files and smoke jobs."""
+        out: Dict[str, Any] = {"shards": self.config.shards,
+                               "execution": self.config.execution,
+                               **{k: self.stats[k] for k in sorted(self.stats)}}
+        if self.cache is not None:
+            out["cache"] = {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "quarantined": self.cache.quarantined,
+                "max_entries": self.cache.max_entries,
+                "max_bytes": self.cache.max_bytes,
+            }
+        return out
+
+
+def _job_key_for(job: Any, version: Optional[str]) -> str:
+    from .cache import job_key
+
+    return job_key(
+        job.fn,
+        job.resolved_config(),
+        job.params,
+        job.seed,
+        version=version,
+    )
+
+
+def serve_requests(
+    requests: Iterable[Sequence[Any]],
+    *,
+    cache: Optional[ResultCache] = None,
+    policy: Optional[SweepSupervision] = None,
+    service: Optional[ServiceConfig] = None,
+    shards: Optional[int] = None,
+    execution: Optional[str] = None,
+    journal: Optional[SweepJournal] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    stagger_s: float = 0.0,
+) -> Tuple[List[List[Any]], Dict[str, Any]]:
+    """Run concurrent sweep requests to completion on a private loop.
+
+    Returns ``(per-request result lists, service manifest)``.  Requests
+    are submitted concurrently (optionally ``stagger_s`` apart, to
+    exercise late-subscriber attachment deterministically); overlapping
+    grid points are deduped across them by content hash.
+    """
+    request_list = [list(jobs) for jobs in requests]
+
+    async def _main() -> Tuple[List[List[Any]], Dict[str, Any]]:
+        async with SweepService(
+            cache,
+            policy=policy,
+            service=service,
+            shards=shards,
+            execution=execution,
+            journal=journal,
+            metrics=metrics,
+        ) as svc:
+
+            async def _one(index: int, jobs: Sequence[Any]) -> List[Any]:
+                if stagger_s and index:
+                    await asyncio.sleep(stagger_s * index)
+                return await svc.submit(jobs)
+
+            results = await asyncio.gather(
+                *(_one(i, jobs) for i, jobs in enumerate(request_list))
+            )
+            manifest = svc.manifest()
+        return list(results), manifest
+
+    return asyncio.run(_main())

@@ -149,3 +149,42 @@ def link_channel_point(
         "error_rate": measured["error_rate"],
         "cycles": measured["cycles"],
     }
+
+
+def service_probe_point(
+    config: GpuConfig,
+    token: str = "probe",
+    value: float = 0.0,
+    ledger_dir: str | None = None,
+    delay_s: float = 0.0,
+) -> Dict[str, Any]:
+    """Deterministic no-simulation point for scheduler tests.
+
+    Computes a cheap pure function of its parameters (so two subscribers
+    can compare full payloads), optionally sleeps ``delay_s`` to hold a
+    shard busy, and — when ``ledger_dir`` is given — appends one line to
+    ``<ledger_dir>/<token>.log``.  The ledger is the execution count
+    ground truth the property-based dedup tests assert on: a key that
+    executed exactly once has exactly one line, regardless of how many
+    requests subscribed to it.
+    """
+    import hashlib
+    import os
+    import time
+
+    if delay_s > 0:
+        time.sleep(delay_s)
+    digest = hashlib.sha256(
+        f"{token}:{value}:{config.seed}".encode()
+    ).hexdigest()
+    if ledger_dir is not None:
+        os.makedirs(ledger_dir, exist_ok=True)
+        path = os.path.join(ledger_dir, f"{token}.log")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(f"{digest}\n")
+    return {
+        "token": token,
+        "value": value,
+        "seed": config.seed,
+        "digest": digest,
+    }

@@ -51,9 +51,9 @@ class InvariantViolation(Exception):
     kind:
         Machine-readable invariant tag (``"capacity"``,
         ``"used-accounting"``, ``"reservation-leak"``,
-        ``"progress-consistency"``, ``"double-delivery"``,
-        ``"unknown-delivery"``, ``"duplicate-injection"``,
-        ``"undelivered"``).
+        ``"progress-consistency"``, ``"link-credit"``,
+        ``"double-delivery"``, ``"unknown-delivery"``,
+        ``"duplicate-injection"``, ``"undelivered"``).
     detail:
         Human-readable description of the observed state.
     """
@@ -72,8 +72,11 @@ class InvariantChecker(Component):
     """Audits queue/switch/packet conservation every ``check_every`` cycles.
 
     Build one with :meth:`attach`, which wires it into a
-    :class:`~repro.gpu.device.GpuDevice`; or construct directly and call
-    :meth:`watch_queue` / :meth:`watch_switch` for bare-component tests.
+    :class:`~repro.gpu.device.GpuDevice`; with :meth:`attach_system`,
+    which wires a fabric-boundary checker into a
+    :class:`~repro.interconnect.MultiGpuSystem`; or construct directly
+    and call :meth:`watch_queue` / :meth:`watch_switch` /
+    :meth:`watch_link` for bare-component tests.
     """
 
     name = "validate.checker"
@@ -84,6 +87,7 @@ class InvariantChecker(Component):
         self.check_every = check_every
         self.queues: List[PacketQueue] = []
         self.switches: List = []  # Mux and Crossbar instances
+        self.links: List = []  # LinkPipe-shaped credit holders
         #: request uid -> (inject cycle, kind, flits) for in-flight packets.
         self._in_flight: Dict[int, Tuple[int, str, int]] = {}
         self.injected = 0
@@ -130,6 +134,53 @@ class InvariantChecker(Component):
         device.engine.register(checker)
         return checker
 
+    @classmethod
+    def attach_system(cls, system) -> "InvariantChecker":
+        """Wire a *fabric* checker into a multi-GPU system.
+
+        Each member device already carries its own checker (wired by
+        :meth:`attach` at device construction when
+        ``GpuConfig.validate_enabled``); this one covers everything past
+        the device edge, where conservation previously went unaudited:
+
+        * the per-node fabric routers (plain :class:`Crossbar`\\ s, so
+          the switch audit applies unchanged),
+        * every link's TX/RX queue and the serializing
+          :class:`~repro.interconnect.link.LinkPipe` between them — the
+          pipe's reserve-at-serialization-start / commit-at-arrival
+          credit flow is audited exactly like a switch's in-flight
+          reservations via :meth:`watch_link`,
+        * the local-delivery queues feeding each ingress shim, and
+        * each device's fabric egress queues (``fabric_inject`` is
+          push-only, ``fabric_reply`` is reserved into by the device's
+          ``remote_reply_mux``, which therefore joins the watch set so
+          its demand is accounted).
+
+        Registered on the shared engine after every fabric component, so
+        audits see settled end-of-cycle state.
+        """
+        checker = cls(check_every=system.config.validate_interval)
+        for device in system.devices:
+            if device.fabric_inject is not None:
+                checker.watch_queue(device.fabric_inject)
+            if device.fabric_reply is not None:
+                checker.watch_queue(device.fabric_reply)
+            if device.remote_reply_mux is not None:
+                checker.watch_switch(device.remote_reply_mux)
+        for queue in system._tx.values():
+            checker.watch_queue(queue)
+        for queue in system._rx.values():
+            checker.watch_queue(queue)
+        for queue in system.delivery_queues:
+            checker.watch_queue(queue)
+        for router in system.routers:
+            checker.watch_switch(router)
+        for pipe in system.link_pipes:
+            checker.watch_link(pipe)
+        system._validator = checker
+        system.engine.register(checker)
+        return checker
+
     def watch_queue(self, queue: PacketQueue) -> None:
         self.queues.append(queue)
 
@@ -137,6 +188,19 @@ class InvariantChecker(Component):
         if not isinstance(switch, (Mux, Crossbar)):
             raise TypeError(f"cannot audit {type(switch).__name__}")
         self.switches.append(switch)
+
+    def watch_link(self, pipe) -> None:
+        """Audit a link pipe's credit flow (reserve/commit over RX).
+
+        Accepts any component exposing the ``reserved_demand()`` /
+        ``_in_flight`` contract of
+        :class:`~repro.interconnect.link.LinkPipe`.
+        """
+        if not hasattr(pipe, "reserved_demand") or not hasattr(
+            pipe, "_in_flight"
+        ):
+            raise TypeError(f"cannot audit {type(pipe).__name__} as a link")
+        self.links.append(pipe)
 
     # ------------------------------------------------------------------ #
     # Conservation hooks (called from SM inject / device deliver).
@@ -206,11 +270,16 @@ class InvariantChecker(Component):
         self.audit(cycle)
 
     def audit(self, cycle: int) -> None:
-        """Audit every watched switch and queue once, raising on failure."""
+        """Audit every watched switch, link, and queue, raising on failure."""
         expected_reserved: Dict[int, int] = {}
         for switch in self.switches:
             self._audit_switch(cycle, switch)
             for queue, flits in switch.reserved_demand():
+                key = id(queue)
+                expected_reserved[key] = expected_reserved.get(key, 0) + flits
+        for pipe in self.links:
+            self._audit_link(cycle, pipe)
+            for queue, flits in pipe.reserved_demand():
                 key = id(queue)
                 expected_reserved[key] = expected_reserved.get(key, 0) + flits
         for queue in self.queues:
@@ -243,6 +312,32 @@ class InvariantChecker(Component):
                         f"port {port}: progress {progress[port]} >= "
                         f"packet length {head.flits} (missed completion)"
                     )
+
+    def _audit_link(self, cycle: int, pipe) -> None:
+        """Sanity of a link pipe's in-flight window.
+
+        The RX-side credit match itself (reserved flits == in-flight
+        demand) is enforced by :meth:`_audit_queue` through the pooled
+        ``expected_reserved`` map, exactly as for switches; here we check
+        the window's own shape: positive packet lengths and FIFO arrival
+        order (the serializer admits one packet at a time, so arrival
+        cycles must be non-decreasing).
+        """
+        last_arrival = None
+        for arrival, packet in pipe._in_flight:
+            if packet.flits <= 0:
+                self._raise(
+                    cycle, pipe.name, "link-credit",
+                    f"in-flight packet uid={packet.uid} has "
+                    f"{packet.flits} flits"
+                )
+            if last_arrival is not None and arrival < last_arrival:
+                self._raise(
+                    cycle, pipe.name, "progress-consistency",
+                    f"in-flight arrivals out of order: {arrival} after "
+                    f"{last_arrival} (serializer admitted out of turn)"
+                )
+            last_arrival = arrival
 
     def _audit_queue(
         self, cycle: int, queue: PacketQueue, expected_reserved: int

@@ -1,0 +1,194 @@
+"""Artifact-store promotion tests: LRU bounds, counters, concurrency.
+
+The sweep service leans on :class:`ResultCache` as a *shared* store, so
+these tests pin the new contract: size bounds evict least-recently-used
+entries (recency = file mtime, refreshed on every hit), the entry just
+written is never evicted, operation counts land in the
+``cache_ops_total`` metrics family, and concurrent writers/evictors
+never corrupt each other.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.metrics.registry import MetricsRegistry
+from repro.runner.cache import (
+    CACHE_MAX_BYTES_ENV,
+    CACHE_MAX_ENTRIES_ENV,
+    ResultCache,
+)
+
+
+def _ops(registry):
+    """``cache_ops_total`` series as ``{op: value}``."""
+    manifest = registry.to_manifest()["metrics"]
+    family = manifest.get("cache_ops_total", {"series": []})
+    return {
+        series["labels"]["op"]: series["value"]
+        for series in family["series"]
+    }
+
+
+def _age(cache, key, mtime):
+    """Pin an entry's recency stamp (deterministic LRU order)."""
+    os.utime(cache._path(key), (mtime, mtime))
+
+
+class TestLruEviction:
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path, metrics=MetricsRegistry())
+        for i in range(16):
+            cache.put(cache.key("fn", {"i": i}), {"v": i})
+        assert cache.evictions == 0
+        assert len(list(cache.root.glob("??/*.json"))) == 16
+
+    def test_entry_bound_evicts_oldest_first(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path, max_entries=2, metrics=registry)
+        keys = [cache.key("fn", {"i": i}) for i in range(4)]
+        for age, key in enumerate(keys):
+            cache.put(key, {"v": age})
+            _age(cache, key, 1000.0 + age)
+        assert cache.evictions == 2
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[2]) == {"v": 2}
+        assert cache.get(keys[3]) == {"v": 3}
+        assert _ops(registry)["eviction"] == 2
+
+    def test_byte_bound_trims_total_size(self, tmp_path):
+        cache = ResultCache(
+            tmp_path, max_bytes=1, metrics=MetricsRegistry()
+        )
+        first = cache.key("fn", {"i": 0})
+        second = cache.key("fn", {"i": 1})
+        cache.put(first, {"v": 0})
+        _age(cache, first, 1000.0)
+        cache.put(second, {"v": 1})
+        # Every entry is bigger than 1 byte, so only the entry just
+        # written (never an eviction candidate) survives.
+        assert cache.get(first) is None
+        assert cache.get(second) == {"v": 1}
+        assert cache.evictions == 1
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = ResultCache(
+            tmp_path, max_entries=2, metrics=MetricsRegistry()
+        )
+        old, hot = cache.key("fn", {"i": 0}), cache.key("fn", {"i": 1})
+        cache.put(old, {"v": 0})
+        cache.put(hot, {"v": 1})
+        _age(cache, old, 1000.0)
+        _age(cache, hot, 1001.0)
+        # Touch the *older* entry: it becomes the most recent.
+        assert cache.get(old) == {"v": 0}
+        _age(cache, hot, 1001.0)  # keep hot's stamp deterministic
+        cache.put(cache.key("fn", {"i": 2}), {"v": 2})
+        assert cache.get(old) == {"v": 0}
+        assert cache.get(hot) is None
+
+    def test_put_never_evicts_its_own_entry(self, tmp_path):
+        cache = ResultCache(
+            tmp_path, max_entries=1, metrics=MetricsRegistry()
+        )
+        keys = [cache.key("fn", {"i": i}) for i in range(3)]
+        for age, key in enumerate(keys):
+            cache.put(key, {"v": age})
+            _age(cache, key, 1000.0 + age)
+            assert cache.get(key) == {"v": age}
+        assert cache.evictions == 2
+
+    def test_invalid_bounds_raise(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0, metrics=MetricsRegistry())
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_bytes=-5, metrics=MetricsRegistry())
+
+    def test_env_bounds_apply(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV, "2")
+        monkeypatch.delenv(CACHE_MAX_BYTES_ENV, raising=False)
+        cache = ResultCache(tmp_path, metrics=MetricsRegistry())
+        assert cache.max_entries == 2
+        for i in range(4):
+            key = cache.key("fn", {"i": i})
+            cache.put(key, {"v": i})
+            _age(cache, key, 1000.0 + i)
+        assert cache.evictions == 2
+
+    def test_env_bounds_must_parse(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV, "lots")
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, metrics=MetricsRegistry())
+
+
+class TestCounters:
+    def test_hit_miss_put_counters(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path, metrics=registry)
+        key = cache.key("fn", {"i": 0})
+        assert cache.get(key) is None
+        cache.put(key, {"v": 0})
+        assert cache.get(key) == {"v": 0}
+        ops = _ops(registry)
+        assert ops["miss"] == 1
+        assert ops["put"] == 1
+        assert ops["hit"] == 1
+        assert "eviction" not in ops or ops["eviction"] == 0
+
+    def test_object_counters_mirror_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ResultCache(tmp_path, max_entries=1, metrics=registry)
+        keys = [cache.key("fn", {"i": i}) for i in range(3)]
+        for age, key in enumerate(keys):
+            cache.put(key, {"v": age})
+            _age(cache, key, 1000.0 + age)
+        cache.get(keys[0])
+        ops = _ops(registry)
+        assert ops["eviction"] == cache.evictions
+        assert ops["miss"] == cache.misses
+        assert ops["hit"] == cache.hits
+
+
+class TestConcurrentWriters:
+    def test_threads_share_a_bounded_store_safely(self, tmp_path):
+        """Racing put/get/evict threads never corrupt the store."""
+        cache = ResultCache(
+            tmp_path, max_entries=4, metrics=MetricsRegistry()
+        )
+        errors = []
+
+        def worker(worker_id):
+            try:
+                local = ResultCache(
+                    tmp_path, max_entries=4, metrics=MetricsRegistry()
+                )
+                for i in range(25):
+                    key = local.key("fn", {"i": i % 8})
+                    local.put(key, {"v": i % 8})
+                    value = local.get(key)
+                    # Evicted-by-a-racer reads are plain misses; a
+                    # present entry must round-trip exactly.
+                    assert value is None or value == {"v": i % 8}
+                assert not local.quarantines
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append((worker_id, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # After the dust settles one more put must re-establish the bound.
+        key = cache.key("fn", {"final": True})
+        cache.put(key, {"v": "final"})
+        live = list(cache.root.glob("??/*.json"))
+        assert len(live) <= 4
+        for path in live:
+            entry = json.loads(path.read_text())
+            assert "result" in entry and "meta" in entry

@@ -1,0 +1,240 @@
+"""Sweep-service scheduler tests: dedup, cache fast-path, failure modes.
+
+These cover the scheduler contract directly (single requests, explicit
+state assertions); randomized interleavings live in
+``test_service_properties.py`` and the full supervised/chaos path in
+``test_service_e2e.py``.  The workload is
+:func:`repro.runner.workloads.service_probe_point`, whose side-effect
+ledger counts actual executions per token — the ground truth "exactly
+once" is measured against.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.config import ServiceConfig, SweepSupervision
+from repro.metrics.registry import MetricsRegistry
+from repro.runner import (
+    JobFailure,
+    ResultCache,
+    ServiceError,
+    SimJob,
+    SweepJournal,
+    SweepService,
+    serve_requests,
+)
+
+PROBE_FN = "repro.runner.workloads.service_probe_point"
+CHAOS_FN = "repro.runner.chaos.chaos_point"
+
+
+def _probe_job(cfg, token, ledger, value=1.0):
+    return SimJob(
+        PROBE_FN,
+        cfg,
+        {"token": token, "value": value, "ledger_dir": str(ledger)},
+    )
+
+
+def _ledger_count(ledger, token):
+    path = ledger / f"{token}.log"
+    if not path.exists():
+        return 0
+    return len(path.read_text().splitlines())
+
+
+@pytest.fixture
+def probe_cfg(quiet_cfg):
+    return quiet_cfg
+
+
+class TestScheduler:
+    def test_results_in_job_order(self, probe_cfg, tmp_path):
+        jobs = [
+            _probe_job(probe_cfg, f"t{i}", tmp_path, value=float(i))
+            for i in range(4)
+        ]
+        (results,), manifest = serve_requests(
+            [jobs],
+            cache=ResultCache(tmp_path / "cache", metrics=MetricsRegistry()),
+            execution="inline",
+            metrics=MetricsRegistry(),
+        )
+        assert [r["value"] for r in results] == [0.0, 1.0, 2.0, 3.0]
+        assert manifest["dispatched"] == 4
+        assert manifest["requests"] == 1
+
+    def test_duplicate_jobs_in_one_request_dedup(self, probe_cfg, tmp_path):
+        job = _probe_job(probe_cfg, "dup", tmp_path)
+        (results,), manifest = serve_requests(
+            [[job, job, job]],
+            cache=ResultCache(tmp_path / "cache", metrics=MetricsRegistry()),
+            execution="inline",
+            metrics=MetricsRegistry(),
+        )
+        assert _ledger_count(tmp_path, "dup") == 1
+        assert results[0] == results[1] == results[2]
+        assert manifest["dispatched"] == 1
+        assert manifest["attached"] == 2
+
+    def test_store_hit_skips_execution(self, probe_cfg, tmp_path):
+        jobs = [_probe_job(probe_cfg, f"t{i}", tmp_path) for i in range(3)]
+        cache_root = tmp_path / "cache"
+
+        def _serve():
+            return serve_requests(
+                [jobs],
+                cache=ResultCache(cache_root, metrics=MetricsRegistry()),
+                execution="inline",
+                metrics=MetricsRegistry(),
+            )
+
+        (first,), manifest_a = _serve()
+        (second,), manifest_b = _serve()
+        assert manifest_a["dispatched"] == 3
+        assert manifest_b["dispatched"] == 0
+        assert manifest_b["cache_hit"] == 3
+        assert second == first
+        # The artifact store — not a re-run — answered the second batch.
+        for token in ("t0", "t1", "t2"):
+            assert _ledger_count(tmp_path, token) == 1
+
+    def test_no_cache_still_dedups_inflight(self, probe_cfg, tmp_path):
+        job = _probe_job(probe_cfg, "nc", tmp_path)
+        (a, b), manifest = serve_requests(
+            [[job], [job]],
+            cache=None,
+            execution="inline",
+            metrics=MetricsRegistry(),
+            stagger_s=0.01,
+        )
+        assert manifest["dispatched"] + manifest["attached"] == 2
+        assert a[0] == b[0]
+
+    def test_journal_agrees_with_cache(self, probe_cfg, tmp_path):
+        cache = ResultCache(tmp_path / "cache", metrics=MetricsRegistry())
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        jobs = [_probe_job(probe_cfg, f"t{i}", tmp_path) for i in range(3)]
+        serve_requests(
+            [jobs],
+            cache=cache,
+            journal=journal,
+            execution="inline",
+            metrics=MetricsRegistry(),
+        )
+        completed = SweepJournal(tmp_path / "journal.jsonl").completed()
+        assert len(completed) == 3
+        for job in jobs:
+            key = cache.key(job.fn, job.resolved_config(), job.params, job.seed)
+            assert key in completed
+            assert completed[key] == cache.get(key)
+
+    def test_manifest_reports_store_counters(self, probe_cfg, tmp_path):
+        cache = ResultCache(
+            tmp_path / "cache", max_entries=1, metrics=MetricsRegistry()
+        )
+        jobs = [_probe_job(probe_cfg, f"t{i}", tmp_path) for i in range(3)]
+        _, manifest = serve_requests(
+            [jobs], cache=cache, execution="inline",
+            metrics=MetricsRegistry(), shards=1,
+        )
+        assert manifest["cache"]["evictions"] >= 2
+        assert manifest["cache"]["max_entries"] == 1
+
+    def test_stats_mirror_registry(self, probe_cfg, tmp_path):
+        registry = MetricsRegistry()
+        jobs = [_probe_job(probe_cfg, f"t{i}", tmp_path) for i in range(2)]
+        _, manifest = serve_requests(
+            [jobs, jobs],
+            cache=ResultCache(tmp_path / "cache", metrics=MetricsRegistry()),
+            execution="inline",
+            metrics=registry,
+            stagger_s=0.01,
+        )
+        metrics = registry.to_manifest()["metrics"]
+        series = {
+            s["labels"]["state"]: s["value"]
+            for s in metrics["service_jobs_total"]["series"]
+        }
+        for state in ("dispatched", "attached", "cache_hit", "completed", "failed"):
+            assert series[state] == manifest[state]
+        requests = metrics["service_requests_total"]["series"][0]["value"]
+        assert requests == manifest["requests"] == 2
+        inflight = metrics["service_inflight_jobs"]["series"][0]["value"]
+        assert inflight == 0  # everything settled
+
+
+class TestFailureModes:
+    def test_inline_exception_propagates_to_subscribers(
+        self, probe_cfg, tmp_path, monkeypatch
+    ):
+        # Without a chaos state dir every attempt is attempt 1: plan
+        # "raise" raises deterministically, in-process.
+        monkeypatch.delenv("REPRO_CHAOS_STATE", raising=False)
+        bad = SimJob(CHAOS_FN, probe_cfg, {"token": "boom", "plan": "raise"})
+
+        async def _main():
+            async with SweepService(
+                None, execution="inline", shards=1,
+                metrics=MetricsRegistry(),
+            ) as svc:
+                with pytest.raises(RuntimeError):
+                    await svc.submit([bad])
+                # The service survives a failed key and keeps serving.
+                ok = await svc.submit(
+                    [_probe_job(probe_cfg, "after", tmp_path)]
+                )
+                return ok, svc.stats["failed"]
+
+        ok, failed = asyncio.run(_main())
+        assert ok[0]["token"] == "after"
+        assert failed == 1
+
+    def test_supervised_failure_is_graceful(self, probe_cfg, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_STATE", raising=False)
+        bad = SimJob(CHAOS_FN, probe_cfg, {"token": "boom", "plan": "raise"})
+        good = _probe_job(probe_cfg, "good", tmp_path)
+        journal = SweepJournal(tmp_path / "journal.jsonl")
+        policy = SweepSupervision(
+            timeout_s=60.0, max_attempts=2, backoff_base_s=0.01
+        )
+        (results,), manifest = serve_requests(
+            [[bad, good]],
+            cache=ResultCache(tmp_path / "cache", metrics=MetricsRegistry()),
+            policy=policy,
+            journal=journal,
+            execution="supervised",
+            shards=2,
+            metrics=MetricsRegistry(),
+        )
+        assert isinstance(results[0], JobFailure)
+        assert results[0].kind == "exception"
+        assert results[0].attempts == 2
+        assert results[1]["token"] == "good"
+        assert manifest["failed"] == 1
+        assert manifest["completed"] == 1
+        state = SweepJournal(tmp_path / "journal.jsonl").load()
+        assert len(state.results) == 1
+        assert len(state.failures) == 1
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, probe_cfg, tmp_path):
+        async def _main():
+            svc = SweepService(
+                None, execution="inline", metrics=MetricsRegistry()
+            )
+            await svc.start()
+            await svc.close()
+            with pytest.raises(ServiceError):
+                await svc.submit([_probe_job(probe_cfg, "late", tmp_path)])
+
+        asyncio.run(_main())
+
+    def test_service_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(shards=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(execution="teleport")
+        assert ServiceConfig().replace(shards=7).shards == 7

@@ -1,0 +1,153 @@
+"""Fabric-boundary invariant tests: link credit flow under audit.
+
+PR-9 left everything past the device edge unaudited; these tests pin the
+extension: :meth:`InvariantChecker.attach_system` watches the fabric
+routers, link TX/RX queues, delivery queues, device fabric egress queues
+(plus the ``remote_reply_mux`` reserving into one of them), and the
+:class:`LinkPipe` credit windows.  The headline regression test corrupts
+a link's RX credit count mid-run and demands an
+:class:`InvariantViolation` — the exact silent-corruption mode the
+fabric audit exists to catch.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.config import LinkConfig, small_config
+from repro.gpu.coalescer import lane_addresses_uncoalesced
+from repro.gpu.kernel import Kernel
+from repro.gpu.warp import MemOp, READ
+from repro.interconnect import MultiGpuSystem
+from repro.interconnect.link import LinkPipe
+from repro.noc.buffer import PacketQueue
+from repro.validate.invariants import InvariantChecker, InvariantViolation
+
+
+def _validated_cfg(**overrides):
+    return small_config(timing_noise=0, validate_enabled=True, **overrides)
+
+
+def _remote_read_program(context):
+    args = context.args
+    line = 64
+    base = args["base"] + context.warp_id * args["ops"] * 32 * line
+    for op in range(args["ops"]):
+        addresses = lane_addresses_uncoalesced(
+            base + op * 32 * line, line, 32
+        )
+        yield MemOp(READ, addresses, device=args["device"])
+
+
+def _remote_kernel(device, ops=4, base=0, warps=2):
+    return Kernel(
+        _remote_read_program,
+        num_blocks=1,
+        warps_per_block=warps,
+        args={"ops": ops, "base": base, "device": device},
+        name="remote-read",
+    )
+
+
+class TestAttachSystem:
+    def test_watch_sets_cover_the_fabric(self):
+        system = MultiGpuSystem(_validated_cfg(), LinkConfig(num_devices=2))
+        checker = system._validator
+        assert isinstance(checker, InvariantChecker)
+        # 2 fabric_inject + 2 fabric_reply + 2 TX + 2 RX + 2 delivery.
+        assert len(checker.queues) == 10
+        # 2 routers + 2 remote_reply_muxes.
+        assert len(checker.switches) == 4
+        assert len(checker.links) == len(system.link_pipes) == 2
+        watched = {q.name for q in checker.queues}
+        assert "link0-1.tx" in watched
+        assert "link1-0.rx" in watched
+        assert "d0.fab.deliver" in watched
+
+    def test_disabled_config_attaches_nothing(self):
+        system = MultiGpuSystem(
+            small_config(timing_noise=0), LinkConfig(num_devices=2)
+        )
+        assert system._validator is None
+
+    def test_switch_topology_attaches(self):
+        system = MultiGpuSystem(
+            _validated_cfg(), LinkConfig(num_devices=3, topology="switch")
+        )
+        checker = system._validator
+        # The hub node contributes a router but no device egress queues.
+        assert len(checker.switches) == 4 + 3  # 4 routers + 3 reply muxes
+        assert len(checker.links) == len(system.link_pipes)
+
+
+class TestValidatedRemoteTraffic:
+    def test_remote_reads_pass_the_fabric_audit(self):
+        system = MultiGpuSystem(_validated_cfg(), LinkConfig(num_devices=2))
+        gpu0, gpu1 = system.devices
+        gpu1.preload_region(0, 1 << 20)
+        gpu0.launch(_remote_kernel(device=1))
+        system.run()
+        checker = system._validator
+        assert checker.checks_run > 0
+        assert checker.violations == 0
+        # Per-device interior checkers audited their side too.
+        for device in system.devices:
+            assert device._validator is not None
+            assert device._validator.checks_run > 0
+
+    def test_corrupted_link_credit_raises(self):
+        """Pinned: a corrupted RX credit count must fail the audit."""
+        system = MultiGpuSystem(_validated_cfg(), LinkConfig(num_devices=2))
+        gpu0, gpu1 = system.devices
+        gpu1.preload_region(0, 1 << 20)
+        gpu0.launch(_remote_kernel(device=1))
+        pipe = system.link_pipes[0]
+        # Leak one phantom credit, as a lost commit would.
+        pipe.rx._reserved_flits += 1
+        with pytest.raises(InvariantViolation) as excinfo:
+            system.run(max_cycles=200_000)
+        assert excinfo.value.kind == "reservation-leak"
+        assert excinfo.value.component == pipe.rx.name
+
+
+class TestWatchLink:
+    def _bare_pipe(self):
+        tx = PacketQueue("t.tx", 64)
+        rx = PacketQueue("t.rx", 64)
+        return LinkPipe("t", tx, rx, width=4, latency=2)
+
+    def test_rejects_non_links(self):
+        checker = InvariantChecker()
+        with pytest.raises(TypeError):
+            checker.watch_link(PacketQueue("q", 4))
+        with pytest.raises(TypeError):
+            checker.watch_switch(self._bare_pipe())
+
+    def test_negative_flits_in_flight_is_link_credit(self):
+        checker = InvariantChecker()
+        pipe = self._bare_pipe()
+        checker.watch_link(pipe)  # queues unwatched: window shape only
+        pipe._in_flight.append(
+            (5, SimpleNamespace(uid=1, flits=0))
+        )
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.audit(cycle=10)
+        assert excinfo.value.kind == "link-credit"
+
+    def test_out_of_order_arrivals_is_progress_consistency(self):
+        checker = InvariantChecker()
+        pipe = self._bare_pipe()
+        checker.watch_link(pipe)
+        pipe._in_flight.append((9, SimpleNamespace(uid=1, flits=2)))
+        pipe._in_flight.append((7, SimpleNamespace(uid=2, flits=2)))
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.audit(cycle=10)
+        assert excinfo.value.kind == "progress-consistency"
+
+    def test_clean_window_passes(self):
+        checker = InvariantChecker()
+        pipe = self._bare_pipe()
+        checker.watch_link(pipe)
+        pipe._in_flight.append((7, SimpleNamespace(uid=1, flits=2)))
+        pipe._in_flight.append((9, SimpleNamespace(uid=2, flits=2)))
+        checker.audit(cycle=10)  # no raise
